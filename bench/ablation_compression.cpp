@@ -1,0 +1,96 @@
+// §8 future-work evaluation: column-wise compression of the back-reference
+// tables.
+//
+// Paper: "Our tables of back reference records appear to be highly
+// compressible, especially if we compress them by columns. Compression will
+// cost additional CPU cycles, which must be carefully balanced against the
+// expected improvements in the space overhead."
+//
+// This bench generates realistic From and Combined buffers from an aged
+// fsim workload and measures exactly that balance: compression ratio per
+// table vs. encode/decode cost per record.
+#include <cinttypes>
+
+#include "bench_common.hpp"
+#include "lsm/column_codec.hpp"
+
+using namespace backlog;
+
+namespace {
+void report(const char* label, const std::vector<std::uint8_t>& raw,
+            std::size_t record_size) {
+  if (raw.empty()) {
+    std::printf("%-24s (empty)\n", label);
+    return;
+  }
+  const std::size_t n = raw.size() / record_size;
+  double t0 = bench::now_seconds();
+  const auto blob = lsm::compress_columns(raw, record_size);
+  const double enc_s = bench::now_seconds() - t0;
+  t0 = bench::now_seconds();
+  const auto back = lsm::decompress_columns(blob);
+  const double dec_s = bench::now_seconds() - t0;
+  if (back != raw) {
+    std::printf("%-24s ROUND-TRIP MISMATCH\n", label);
+    return;
+  }
+  std::printf("%-24s %10zu %12zu %12zu %7.2fx %10.0f %10.0f\n", label, n,
+              raw.size(), blob.size(),
+              static_cast<double>(raw.size()) / static_cast<double>(blob.size()),
+              enc_s * 1e9 / static_cast<double>(n),
+              dec_s * 1e9 / static_cast<double>(n));
+}
+}  // namespace
+
+int main() {
+  const bench::Scale scale = bench::Scale::from_env();
+  bench::print_header(
+      "Ablation (sec 8): column-wise compression of back-reference tables",
+      "tables are highly compressible by columns; CPU cost must stay small",
+      scale);
+
+  storage::TempDir dir;
+  storage::Env env(dir.path());
+  env.set_sync(false);
+  fsim::FileSystem fs(env, bench::paper_fsim_options(scale),
+                      bench::paper_backlog_options(scale));
+  fsim::WorkloadOptions wl;
+  wl.seed = 7;
+  fsim::WorkloadGenerator gen(fs, 0, wl);
+  fsim::SnapshotScheduler snaps(fs, 0, bench::paper_snapshot_policy());
+
+  // Age the volume and capture one CP's worth of WS buffers (the Level-0
+  // run payload) before the final flush.
+  for (std::uint64_t cp = 1; cp <= 80; ++cp) {
+    gen.run_block_writes(fs.options().ops_per_cp);
+    fs.consistency_point();
+    snaps.on_cp(cp);
+  }
+  gen.run_block_writes(fs.options().ops_per_cp);
+  // Reach into the db via its public scan for Combined; rebuild a From
+  // buffer from the raw records (sorted, as the run writer would see it).
+  const auto combined = fs.db().scan_all();
+  std::vector<std::uint8_t> combined_buf(combined.size() *
+                                         core::kCombinedRecordSize);
+  std::vector<std::uint8_t> from_buf;
+  for (std::size_t i = 0; i < combined.size(); ++i) {
+    core::encode_combined(combined[i],
+                          combined_buf.data() + i * core::kCombinedRecordSize);
+    if (combined[i].to == core::kInfinity) {
+      const std::size_t b = from_buf.size();
+      from_buf.resize(b + core::kFromRecordSize);
+      core::encode_from({combined[i].key, combined[i].from}, from_buf.data() + b);
+    }
+  }
+
+  std::printf("%-24s %10s %12s %12s %8s %10s %10s\n", "table", "records",
+              "raw_bytes", "compressed", "ratio", "enc_ns/rec", "dec_ns/rec");
+  report("From (incomplete)", from_buf, core::kFromRecordSize);
+  report("Combined (full)", combined_buf, core::kCombinedRecordSize);
+
+  std::printf(
+      "\ncheck: ratios well above 3x (sorted block column deltas are tiny and\n"
+      "inode/line/length columns are highly repetitive); codec cost tens of\n"
+      "ns per record, i.e. negligible next to the ~150 ns WS update path.\n");
+  return 0;
+}

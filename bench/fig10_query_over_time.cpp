@@ -1,0 +1,92 @@
+// Figure 10 reproduction: query performance over the lifetime of the file
+// system, measured just before (left plot) and immediately after (right
+// plot) each periodic maintenance run.
+//
+// Paper result: maintenance improves throughput by more than an order of
+// magnitude (right plot up to ~45k q/s vs ~1.5k before maintenance), and —
+// the key observation — once the database reaches a certain size, query
+// throughput *levels off* even as the database keeps growing.
+//
+// Scaled: the paper's 1000 CPs with maintenance every 100 -> 240 CPs with
+// maintenance every 40; run lengths 1024..8192 -> 256..2048.
+#include <algorithm>
+#include <cinttypes>
+#include <vector>
+
+#include "bench_common.hpp"
+
+using namespace backlog;
+
+namespace {
+double qps(fsim::FileSystem& fs, std::uint64_t run_len,
+           std::uint64_t num_queries, util::Rng& rng) {
+  // §6.4 runs: each starts at a random block and issues run_len consecutive
+  // single-back-reference queries.
+  const std::uint64_t num_runs = std::max<std::uint64_t>(1, num_queries / run_len);
+  std::vector<core::BlockNo> starts;
+  const std::uint64_t limit = std::max<std::uint64_t>(
+      2, fs.max_block() > run_len ? fs.max_block() - run_len : 2);
+  for (std::uint64_t r = 0; r < num_runs; ++r) starts.push_back(1 + rng.below(limit));
+  fs.db().clear_cache();
+  std::uint64_t queries = 0;
+  const double t0 = bench::now_seconds();
+  for (const core::BlockNo start : starts) {
+    for (std::uint64_t i = 0; i < run_len; ++i) {
+      (void)fs.db().query(start + i);
+      ++queries;
+    }
+  }
+  return static_cast<double>(queries) / (bench::now_seconds() - t0);
+}
+}  // namespace
+
+int main() {
+  const bench::Scale scale = bench::Scale::from_env();
+  bench::print_header(
+      "Figure 10: query throughput over time, before vs after maintenance",
+      ">10x gain from maintenance; throughput levels off as the db grows",
+      scale);
+
+  storage::TempDir dir;
+  storage::Env env(dir.path());
+  env.set_sync(false);  // measure the algorithm, not the host disk
+  fsim::FileSystem fs(env, bench::paper_fsim_options(scale),
+                      bench::paper_backlog_options(scale));
+  fsim::WorkloadOptions wl;
+  wl.seed = 3;
+  fsim::WorkloadGenerator gen(fs, 0, wl);
+  fsim::SnapshotScheduler snaps(fs, 0, bench::paper_snapshot_policy());
+
+  const std::uint64_t total_cps = 240;
+  const std::uint64_t maintain_every = 40;
+  const std::uint64_t run_lengths[] = {256, 512, 1024, 2048};
+  const std::uint64_t queries_per_point = 4096;
+  util::Rng rng(1234);
+
+  std::printf("%8s %10s |", "cp", "phase");
+  for (const auto rl : run_lengths) std::printf(" %9" PRIu64, rl);
+  std::printf("   (q/s by run length)\n");
+
+  for (std::uint64_t cp = 1; cp <= total_cps; ++cp) {
+    gen.run_block_writes(fs.options().ops_per_cp);
+    fs.consistency_point();
+    snaps.on_cp(cp);
+    if (cp % maintain_every == 0) {
+      std::printf("%8" PRIu64 " %10s |", cp, "before");
+      for (const auto rl : run_lengths)
+        std::printf(" %9.0f", qps(fs, rl, queries_per_point, rng));
+      std::printf("\n");
+      fs.db().maintain();
+      std::printf("%8" PRIu64 " %10s |", cp, "after");
+      for (const auto rl : run_lengths)
+        std::printf(" %9.0f", qps(fs, rl, queries_per_point, rng));
+      std::printf("   db=%.1f MB\n",
+                  fs.db().stats().db_bytes / (1024.0 * 1024.0));
+    }
+  }
+  std::printf(
+      "\ncheck: 'after' rows sit several times above 'before' rows (paper: >10x\n"
+      "on 2009 disks; a warm page cache compresses the gap here);\n"
+      "both series flatten out over cp even though db bytes keep growing.\n");
+  return 0;
+}

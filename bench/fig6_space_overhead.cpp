@@ -1,0 +1,74 @@
+// Figure 6 reproduction: back-reference database size as a percentage of the
+// physical data size, over time, for three maintenance cadences.
+//
+// Paper result: without maintenance the meta-data grows toward ~20%+ of the
+// data; with maintenance every 100 or 200 CPs it saw-tooths and the
+// *post-maintenance floor stays flat at 2.5-3.5%* — space overhead does not
+// creep up as the file system ages. Compaction shrinks the database 30-50%.
+//
+// Scaled: the paper's 1000 CPs -> 360 CPs here, maintenance every 100/200 ->
+// every 36/72 CPs (same number of maintenance events per experiment).
+#include <cinttypes>
+
+#include "bench_common.hpp"
+
+using namespace backlog;
+
+namespace {
+void run_arm(const bench::Scale& scale, std::uint64_t maintain_every,
+             const char* label) {
+  storage::TempDir dir;
+  storage::Env env(dir.path());
+  env.set_sync(false);  // measure the algorithm, not the host disk
+  fsim::FileSystem fs(env, bench::paper_fsim_options(scale),
+                      bench::paper_backlog_options(scale));
+  fsim::WorkloadOptions wl;
+  wl.seed = 1;
+  fsim::WorkloadGenerator gen(fs, 0, wl);
+  fsim::SnapshotScheduler snaps(fs, 0, bench::paper_snapshot_policy());
+  fsim::ClonePolicy cp_policy;
+  fsim::CloneChurner clones(fs, 0, cp_policy, wl);
+
+  const std::uint64_t total_cps = 360;
+  std::printf("\n--- %s ---\n", label);
+  std::printf("%8s %14s %14s %10s\n", "cp", "db_bytes", "data_bytes",
+              "overhead%");
+  double floor_after_maintenance = -1;
+  for (std::uint64_t cp = 1; cp <= total_cps; ++cp) {
+    gen.run_block_writes(fs.options().ops_per_cp);
+    fs.consistency_point();
+    // Maintenance runs on a freshly committed CP (empty write store); the
+    // snapshot/clone churn below dirties the WS for the next CP.
+    if (maintain_every > 0 && cp % maintain_every == 0) {
+      fs.db().maintain();
+      const double pct = 100.0 * fs.db().stats().db_bytes /
+                         static_cast<double>(fs.stats().data_bytes());
+      floor_after_maintenance = pct;
+    }
+    snaps.on_cp(cp);
+    clones.on_cp(snaps.hourly());
+    if (cp % 30 == 0) {
+      const auto db_bytes = fs.db().stats().db_bytes;
+      const auto data = fs.stats().data_bytes();
+      std::printf("%8" PRIu64 " %14" PRIu64 " %14" PRIu64 " %9.2f%%\n", cp,
+                  db_bytes, data, 100.0 * db_bytes / static_cast<double>(data));
+    }
+  }
+  if (floor_after_maintenance >= 0) {
+    std::printf("post-maintenance floor: %.2f%% (paper: 2.5-3.5%%)\n",
+                floor_after_maintenance);
+  }
+}
+}  // namespace
+
+int main() {
+  const bench::Scale scale = bench::Scale::from_env();
+  bench::print_header(
+      "Figure 6: space overhead vs time (synthetic workload)",
+      "maintenance drops overhead to a flat 2.5-3.5% floor; 30-50% shrink",
+      scale);
+  run_arm(scale, 0, "no maintenance");
+  run_arm(scale, 72, "maintenance every 72 CPs (paper: every 200)");
+  run_arm(scale, 36, "maintenance every 36 CPs (paper: every 100)");
+  return 0;
+}

@@ -1,0 +1,85 @@
+// Figure 8 reproduction: space overhead over the NFS-trace replay for three
+// maintenance cadences (none / every 48 h / every 8 h).
+//
+// Paper result: overhead grows without maintenance; with it, it saw-tooths
+// and settles at a flat 6.1-6.3% floor — higher than the synthetic
+// workload's floor because the trace does not delete whole snapshot lines,
+// so less history is purgeable. Maintenance completed in <25 s per run.
+//
+// Scaled: a 48-hour trace with maintenance every 16 h / every 4 h (same
+// events-per-trace ratio as the paper's 384 h with 48 h / 8 h).
+#include <cinttypes>
+
+#include "bench_common.hpp"
+#include "fsim/trace.hpp"
+#include "fsim/workload.hpp"
+
+using namespace backlog;
+
+namespace {
+void run_arm(const bench::Scale& scale, const fsim::Trace& trace,
+             std::uint64_t maintain_every_hours, const char* label) {
+  storage::TempDir dir;
+  storage::Env env(dir.path());
+  env.set_sync(false);  // measure the algorithm, not the host disk
+  fsim::FileSystem fs(env, bench::paper_fsim_options(scale),
+                      bench::paper_backlog_options(scale));
+  // The trace workload retains 4 hourly + 4 nightly snapshots like the
+  // paper's filer; scheduled per simulated hour here.
+  fsim::SnapshotPolicy sp;
+  sp.hourly_every_cps = 1;   // interpreted per *hour* below
+  sp.keep_hourly = 4;
+  sp.nightly_every_cps = 24;
+  sp.keep_nightly = 4;
+  fsim::SnapshotScheduler snaps(fs, 0, sp);
+
+  double max_maintenance_s = 0;
+  double floor_pct = -1;
+  std::printf("\n--- %s ---\n", label);
+  std::printf("%6s %14s %14s %10s\n", "hour", "db_bytes", "data_bytes",
+              "overhead%");
+  fsim::TracePlayer player(fs, 0);
+  const auto hours = player.play(trace, [&](std::uint64_t hour_index) {
+    snaps.on_cp(hour_index + 1);
+    if (maintain_every_hours > 0 &&
+        (hour_index + 1) % maintain_every_hours == 0) {
+      fs.consistency_point();  // maintenance requires an empty write store
+      const double t0 = bench::now_seconds();
+      fs.db().maintain();
+      max_maintenance_s = std::max(max_maintenance_s, bench::now_seconds() - t0);
+      floor_pct = 100.0 * fs.db().stats().db_bytes /
+                  static_cast<double>(fs.stats().data_bytes());
+    }
+  });
+  for (std::size_t i = 0; i < hours.size(); i += 4) {
+    const auto& h = hours[i];
+    if (h.data_bytes == 0) continue;
+    std::printf("%6.0f %14" PRIu64 " %14" PRIu64 " %9.2f%%\n", h.hour,
+                h.db_bytes, h.data_bytes,
+                100.0 * h.db_bytes / static_cast<double>(h.data_bytes));
+  }
+  if (floor_pct >= 0) {
+    std::printf("post-maintenance floor: %.2f%%  (paper: 6.1-6.3%%)\n", floor_pct);
+    std::printf("slowest maintenance run: %.2f s (paper: <25 s)\n",
+                max_maintenance_s);
+  }
+}
+}  // namespace
+
+int main() {
+  const bench::Scale scale = bench::Scale::from_env();
+  bench::print_header(
+      "Figure 8: NFS-trace space overhead vs time, by maintenance cadence",
+      "flat 6.1-6.3% floor with maintenance; grows without", scale);
+  fsim::TraceSynthOptions to;
+  to.hours = 48;
+  to.ops_per_second_peak = 24.0 * 16.0 / static_cast<double>(scale.divisor);
+  to.seed = 2003;
+  const fsim::Trace trace = fsim::synthesize_eecs03_like(to);
+  std::printf("trace: %zu ops over %.0f simulated hours\n", trace.ops.size(),
+              to.hours);
+  run_arm(scale, trace, 0, "no maintenance");
+  run_arm(scale, trace, 16, "maintenance every 16 h (paper: every 48 h)");
+  run_arm(scale, trace, 4, "maintenance every 4 h (paper: every 8 h)");
+  return 0;
+}

@@ -1,0 +1,114 @@
+// Sharing-aware defragmentation — the paper's second motivating use case
+// (§3): two cloned VM images share most blocks; defragmenting them one at a
+// time would ping-pong the shared blocks between the files. Back references
+// let the defragmenter see the sharing relationship *before* moving
+// anything and decide per block: relocate it (updating every owner) or
+// break the sharing by duplicating.
+//
+// This example clones a "master VM image", diverges both copies, uses
+// Backlog queries to classify each block as private or shared, and then
+// lays out each file sequentially while keeping shared blocks co-located
+// in a common region — the multi-file-aware policy the paper argues for.
+#include <cstdio>
+#include <map>
+#include <vector>
+
+#include "fsim/fsim.hpp"
+#include "fsim/verifier.hpp"
+#include "storage/env.hpp"
+
+using namespace backlog;
+
+int main() {
+  storage::TempDir dir("backlog-defrag");
+  storage::Env env(dir.path());
+  fsim::FsimOptions options;
+  options.ops_per_cp = 1000000;
+  options.dedup_fraction = 0;
+  fsim::FileSystem fs(env, options);
+
+  // Master image: one large file. Fragment it on purpose by interleaving
+  // writes with a second file's growth.
+  const fsim::InodeNo master = fs.create_file(0, 1);
+  const fsim::InodeNo noise = fs.create_file(0, 1);
+  for (int i = 1; i < 64; ++i) {
+    fs.write_file(0, master, i, 1);
+    fs.write_file(0, noise, i, 1);
+  }
+  const core::Epoch golden = fs.take_snapshot(0);
+  fs.consistency_point();
+
+  // Two writable clones of the golden image, each diverging a little.
+  const fsim::LineId vm1 = fs.create_clone(0, golden);
+  const fsim::LineId vm2 = fs.create_clone(0, golden);
+  fs.write_file(vm1, master, 5, 4);   // VM1 patches blocks 5-8
+  fs.write_file(vm2, master, 40, 6);  // VM2 patches blocks 40-45
+  fs.consistency_point();
+
+  // --- classify the master file's blocks by owner count ----------------------
+  // For each physical block of VM1's image: how many lines reference it?
+  auto classify = [&](fsim::LineId line) {
+    std::map<core::BlockNo, std::vector<core::LineId>> owners;
+    const auto& blocks = fs.live_image(line).at(master)->blocks;
+    for (const core::BlockNo b : blocks) {
+      for (const core::BackrefEntry& e : fs.db().query(b)) {
+        if (e.rec.key.inode == master) owners[b].push_back(e.rec.key.line);
+      }
+    }
+    return owners;
+  };
+  const auto vm1_owners = classify(vm1);
+  std::size_t shared = 0, priv = 0;
+  for (const auto& [b, lines] : vm1_owners) {
+    if (lines.size() > 1) {
+      ++shared;
+    } else {
+      ++priv;
+    }
+  }
+  std::printf("VM1 image: %zu blocks, %zu shared with other lines, %zu "
+              "private\n", vm1_owners.size(), shared, priv);
+
+  // --- sharing-aware layout ----------------------------------------------------
+  // Policy (one of the §3 options): keep sharing, co-locate shared blocks in
+  // one contiguous region, and give each VM's *private* blocks their own
+  // sequential region. Compute target regions past the high-water mark.
+  core::BlockNo cursor = fs.max_block() + 100;
+  auto relocate_class = [&](fsim::LineId line, bool want_shared,
+                            const char* label) {
+    std::uint64_t moved = 0;
+    const auto owners = classify(line);
+    for (const auto& [b, lines] : owners) {
+      const bool is_shared = lines.size() > 1;
+      if (is_shared != want_shared) continue;
+      fs.relocate_extent(b, 1, cursor++);
+      ++moved;
+    }
+    std::printf("  %-22s %llu blocks -> contiguous region ending at %llu\n",
+                label, (unsigned long long)moved, (unsigned long long)cursor);
+    return moved;
+  };
+  std::printf("relocating with sharing awareness:\n");
+  relocate_class(vm1, true, "shared (golden) blocks");
+  relocate_class(vm1, false, "VM1 private blocks");
+  relocate_class(vm2, false, "VM2 private blocks");
+  fs.consistency_point();
+
+  // --- measure layout quality ---------------------------------------------------
+  auto seq_score = [&](fsim::LineId line) {
+    const auto& blocks = fs.live_image(line).at(master)->blocks;
+    std::size_t seq = 0;
+    for (std::size_t i = 1; i < blocks.size(); ++i) {
+      if (blocks[i] == blocks[i - 1] + 1) ++seq;
+    }
+    return 100.0 * static_cast<double>(seq) /
+           static_cast<double>(blocks.size() - 1);
+  };
+  std::printf("sequentiality after defrag: VM1 %.0f%%, VM2 %.0f%% (shared "
+              "region breaks each file once, by design)\n",
+              seq_score(vm1), seq_score(vm2));
+
+  const auto result = fsim::verify_backrefs(fs);
+  std::printf("verifier: %s\n", result.ok ? "OK" : "MISMATCH");
+  return result.ok ? 0 : 1;
+}

@@ -1,0 +1,117 @@
+#include "baseline/naive_backrefs.hpp"
+
+#include <chrono>
+#include <cstring>
+#include <stdexcept>
+
+#include "util/serde.hpp"
+
+namespace backlog::baseline {
+
+namespace {
+// key   = (block, inode, offset, line, from)  big-endian
+// value = to
+constexpr std::size_t kNaiveKeySize = 40;
+constexpr std::size_t kNaiveValueSize = 8;
+
+void encode_naive_key(const core::BackrefKey& k, core::Epoch from,
+                      std::uint8_t* dst) {
+  util::put_be64(dst, k.block);
+  util::put_be64(dst + 8, k.inode);
+  util::put_be64(dst + 16, k.offset);
+  util::put_be64(dst + 24, k.line);
+  util::put_be64(dst + 32, from);
+}
+
+std::uint64_t now_micros() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+}  // namespace
+
+NaiveBackrefs::NaiveBackrefs(storage::Env& env, NaiveOptions options)
+    : env_(env) {
+  tree_ = std::make_unique<storage::BTree>(env, "naive_backrefs.btree",
+                                           kNaiveKeySize, kNaiveValueSize,
+                                           options.cache_pages);
+}
+
+void NaiveBackrefs::add_reference(const core::BackrefKey& key) {
+  std::uint8_t kbuf[kNaiveKeySize];
+  std::uint8_t vbuf[kNaiveValueSize];
+  encode_naive_key(key, cp_, kbuf);
+  util::put_be64(vbuf, core::kInfinity);
+  tree_->put({kbuf, kNaiveKeySize}, {vbuf, kNaiveValueSize});  // insert
+  ++ops_since_cp_;
+}
+
+void NaiveBackrefs::remove_reference(const core::BackrefKey& key) {
+  // Read-modify-write: locate the live record (to == ∞) for this key. The
+  // `from` suffix is unknown, so seek to the key prefix and scan — exactly
+  // the lookup a real implementation would do.
+  std::uint8_t kbuf[kNaiveKeySize];
+  encode_naive_key(key, 0, kbuf);
+  std::uint8_t live_key[kNaiveKeySize];
+  bool found = false;
+  for (auto c = tree_->seek({kbuf, kNaiveKeySize}); c.valid(); c.next()) {
+    if (std::memcmp(c.key().data(), kbuf, 32) != 0) break;  // prefix ended
+    if (util::get_be64(c.value().data()) == core::kInfinity) {
+      std::memcpy(live_key, c.key().data(), kNaiveKeySize);
+      found = true;
+      break;
+    }
+  }
+  if (!found)
+    throw std::logic_error("NaiveBackrefs: remove of unknown reference");
+  std::uint8_t vbuf[kNaiveValueSize];
+  util::put_be64(vbuf, cp_);
+  tree_->put({live_key, kNaiveKeySize}, {vbuf, kNaiveValueSize});
+  ++ops_since_cp_;
+}
+
+fsim::SinkCpStats NaiveBackrefs::on_consistency_point() {
+  const std::uint64_t t0 = now_micros();
+  const storage::IoStats before = env_.stats();
+  fsim::SinkCpStats s;
+  s.cp = cp_++;
+  s.block_ops = ops_since_cp_;
+  tree_->flush();
+  ops_since_cp_ = 0;
+  const storage::IoStats delta = env_.stats() - before;
+  s.pages_written = delta.page_writes;
+  s.wall_micros = now_micros() - t0;
+  return s;
+}
+
+std::uint64_t NaiveBackrefs::db_bytes() const {
+  return tree_->stats().page_count * storage::kPageSize;
+}
+
+std::vector<core::CombinedRecord> NaiveBackrefs::query(core::BlockNo first,
+                                                       std::uint64_t count) {
+  std::vector<core::CombinedRecord> out;
+  std::uint8_t kbuf[kNaiveKeySize];
+  core::BackrefKey seek_key;
+  seek_key.block = first;
+  seek_key.inode = 0;
+  seek_key.offset = 0;
+  seek_key.line = 0;
+  encode_naive_key(seek_key, 0, kbuf);
+  for (auto c = tree_->seek({kbuf, kNaiveKeySize}); c.valid(); c.next()) {
+    core::CombinedRecord r;
+    r.key.block = util::get_be64(c.key().data());
+    if (r.key.block >= first + count) break;
+    r.key.inode = util::get_be64(c.key().data() + 8);
+    r.key.offset = util::get_be64(c.key().data() + 16);
+    r.key.line = util::get_be64(c.key().data() + 24);
+    r.key.length = 1;
+    r.from = util::get_be64(c.key().data() + 32);
+    r.to = util::get_be64(c.value().data());
+    out.push_back(r);
+  }
+  return out;
+}
+
+}  // namespace backlog::baseline

@@ -1,0 +1,57 @@
+// Baseline "naive conceptual table" (§4.1).
+//
+// The straw-man the paper measures first: one on-disk table of Conceptual
+// records (block, inode, offset, line, from, to), updated *in place*:
+//
+//   * allocation  -> insert a record with to = ∞;
+//   * deallocation -> find the live record for the key (a B-tree lookup =
+//     disk read once the table outgrows the cache) and overwrite its `to`
+//     with the current CP — the read-modify-write the paper says made the
+//     file system "slow down to a crawl after only a few hundred CPs".
+//
+// Updates are applied immediately against the tree's buffer cache and dirty
+// pages are written back at each CP, so both the read-miss storm and the
+// scattered page writes show up in the Env accounting. Reproduced by
+// bench/ablation_naive_baseline.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/backref_record.hpp"
+#include "fsim/backref_sink.hpp"
+#include "storage/btree.hpp"
+#include "storage/env.hpp"
+
+namespace backlog::baseline {
+
+struct NaiveOptions {
+  std::size_t cache_pages = 2048;  ///< 8 MB buffer cache
+};
+
+class NaiveBackrefs final : public fsim::BackrefSink {
+ public:
+  NaiveBackrefs(storage::Env& env, NaiveOptions options = {});
+
+  void add_reference(const core::BackrefKey& key) override;
+  void remove_reference(const core::BackrefKey& key) override;
+  fsim::SinkCpStats on_consistency_point() override;
+  [[nodiscard]] bool advances_cp() const override { return false; }
+  [[nodiscard]] std::uint64_t db_bytes() const override;
+
+  /// All records (live and historical) for blocks [first, first+count).
+  [[nodiscard]] std::vector<core::CombinedRecord> query(core::BlockNo first,
+                                                        std::uint64_t count = 1);
+
+  [[nodiscard]] std::uint64_t record_count() const { return tree_->size(); }
+  [[nodiscard]] core::Epoch current_cp() const noexcept { return cp_; }
+
+ private:
+  storage::Env& env_;
+  std::unique_ptr<storage::BTree> tree_;
+  std::uint64_t ops_since_cp_ = 0;
+  core::Epoch cp_ = 1;
+};
+
+}  // namespace backlog::baseline

@@ -1,0 +1,112 @@
+#include "baseline/native_backrefs.hpp"
+
+#include <chrono>
+#include <cstring>
+
+#include "util/serde.hpp"
+
+namespace backlog::baseline {
+
+namespace {
+constexpr std::size_t kNativeKeySize = 32;   // block, inode, offset, line
+constexpr std::size_t kNativeValueSize = 8;  // refcount
+
+void encode_native_key(const core::BackrefKey& k, std::uint8_t* dst) {
+  util::put_be64(dst, k.block);
+  util::put_be64(dst + 8, k.inode);
+  util::put_be64(dst + 16, k.offset);
+  util::put_be64(dst + 24, k.line);
+}
+
+core::BackrefKey decode_native_key(const std::uint8_t* src) {
+  core::BackrefKey k;
+  k.block = util::get_be64(src);
+  k.inode = util::get_be64(src + 8);
+  k.offset = util::get_be64(src + 16);
+  k.line = util::get_be64(src + 24);
+  k.length = 1;
+  return k;
+}
+
+std::uint64_t now_micros() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+}  // namespace
+
+NativeBackrefs::NativeBackrefs(storage::Env& env, NativeOptions options)
+    : env_(env) {
+  tree_ = std::make_unique<storage::BTree>(env, "native_backrefs.btree",
+                                           kNativeKeySize, kNativeValueSize,
+                                           options.cache_pages);
+}
+
+void NativeBackrefs::add_reference(const core::BackrefKey& key) {
+  ++pending_[key];
+  ++ops_since_cp_;
+}
+
+void NativeBackrefs::remove_reference(const core::BackrefKey& key) {
+  --pending_[key];
+  ++ops_since_cp_;
+}
+
+fsim::SinkCpStats NativeBackrefs::on_consistency_point() {
+  const std::uint64_t t0 = now_micros();
+  const storage::IoStats before = env_.stats();
+  fsim::SinkCpStats s;
+  s.cp = cp_++;
+  s.block_ops = ops_since_cp_;
+
+  // Transaction commit: fold the buffered deltas into the on-disk tree.
+  std::uint8_t kbuf[kNativeKeySize];
+  std::uint8_t vbuf[kNativeValueSize];
+  for (const auto& [key, delta] : pending_) {
+    if (delta == 0) continue;  // cancelled within the transaction
+    encode_native_key(key, kbuf);
+    std::int64_t refs = delta;
+    if (auto existing = tree_->get({kbuf, kNativeKeySize})) {
+      refs += static_cast<std::int64_t>(util::get_u64(existing->data()));
+    }
+    if (refs > 0) {
+      util::put_u64(vbuf, static_cast<std::uint64_t>(refs));
+      tree_->put({kbuf, kNativeKeySize}, {vbuf, kNativeValueSize});
+    } else {
+      tree_->erase({kbuf, kNativeKeySize});
+    }
+  }
+  pending_.clear();
+  tree_->flush();
+  ops_since_cp_ = 0;
+
+  const storage::IoStats delta = env_.stats() - before;
+  s.pages_written = delta.page_writes;
+  s.wall_micros = now_micros() - t0;
+  return s;
+}
+
+std::uint64_t NativeBackrefs::db_bytes() const {
+  return tree_->stats().page_count * storage::kPageSize;
+}
+
+std::vector<NativeBackrefs::Owner> NativeBackrefs::query(core::BlockNo first,
+                                                         std::uint64_t count) {
+  std::vector<Owner> out;
+  std::uint8_t kbuf[kNativeKeySize];
+  core::BackrefKey seek_key;
+  seek_key.block = first;
+  seek_key.inode = 0;
+  seek_key.offset = 0;
+  seek_key.line = 0;
+  encode_native_key(seek_key, kbuf);
+  for (auto c = tree_->seek({kbuf, kNativeKeySize}); c.valid(); c.next()) {
+    const core::BackrefKey key = decode_native_key(c.key().data());
+    if (key.block >= first + count) break;
+    out.push_back({key, util::get_u64(c.value().data())});
+  }
+  return out;
+}
+
+}  // namespace backlog::baseline

@@ -1,0 +1,289 @@
+// BacklogDb — the paper's primary contribution, assembled.
+//
+// Log-Structured Back References (§4–5): a write-optimized back-reference
+// database for write-anywhere file systems. The file system drives it with
+// three callbacks (§5): add_reference / remove_reference on block-pointer
+// changes, and consistency_point() at every CP. Updates never read disk;
+// they buffer in the write store and are flushed en masse as immutable
+// Level-0 run files per consistency point (Stepped-Merge, §5.1). Periodic
+// maintenance (§5.2) merges runs, joins From ⋈ To into the Combined table
+// and purges records of deleted snapshots. Queries (§4.2) serve "which
+// objects reference these physical blocks?" with structural-inheritance
+// expansion for writable clones and masking against retained versions.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/backref_record.hpp"
+#include "core/snapshot_registry.hpp"
+#include "core/write_store.hpp"
+#include "lsm/deletion_vector.hpp"
+#include "lsm/merge.hpp"
+#include "lsm/run_file.hpp"
+#include "storage/env.hpp"
+#include "storage/page_cache.hpp"
+
+namespace backlog::core {
+
+struct BacklogOptions {
+  /// Horizontal partitioning granularity (§5.3): run files cover disjoint
+  /// fixed ranges of `partition_blocks` physical blocks each.
+  std::uint64_t partition_blocks = 1ull << 20;
+
+  /// Expected block operations per CP; sizes the per-run Bloom filters
+  /// (paper: 32 KB of filter for the WAFL setting of 32,000 ops, §5.1).
+  std::size_t expected_ops_per_cp = 32000;
+  std::size_t bloom_max_bytes = 32 * 1024;
+  /// The Combined RS may grow its filter up to 1 MB (§5.1).
+  std::size_t combined_bloom_max_bytes = 1024 * 1024;
+
+  /// Query page cache (paper: 32 MB, §6.1). In pages of 4 KB.
+  std::size_t cache_pages = 8192;
+
+  /// How many run files may be held open simultaneously.
+  std::size_t max_open_runs = 256;
+
+  /// Queries touching at most this many blocks probe Bloom filters per
+  /// block to skip runs entirely; wider scans rely on min/max fencing.
+  std::uint64_t bloom_probe_limit = 64;
+
+  /// Upper bound on extent length (§6.1's btrfs length field). Records sort
+  /// by *starting* block, so a query for block b must begin scanning at
+  /// b - max_extent_blocks + 1 to catch extents covering b; bounding the
+  /// length keeps that overscan constant. add_reference enforces it.
+  std::uint64_t max_extent_blocks = 128;
+
+  // Ablation toggles (bench/ablation_design_choices).
+  bool use_bloom = true;
+  bool pruning = true;
+};
+
+/// One masked query result: a Combined record plus the retained snapshot /
+/// CP versions (within [from, to)) in which the reference is visible.
+struct BackrefEntry {
+  CombinedRecord rec;
+  std::vector<Epoch> versions;
+
+  friend bool operator==(const BackrefEntry&, const BackrefEntry&) = default;
+};
+
+struct QueryOptions {
+  bool expand = true;  ///< structural-inheritance expansion (§4.2.2)
+  bool mask = true;    ///< drop records invisible in every retained version
+};
+
+/// Returned by consistency_point(): the paper's per-CP overhead metrics.
+struct CpFlushStats {
+  Epoch cp = 0;                    ///< the CP that was just committed
+  std::uint64_t block_ops = 0;     ///< add/remove calls during this CP
+  std::uint64_t records_flushed = 0;
+  std::uint64_t pages_written = 0; ///< 4 KB page writes charged to the flush
+  std::uint64_t wall_micros = 0;
+};
+
+struct MaintenanceStats {
+  std::uint64_t input_records = 0;
+  std::uint64_t output_complete = 0;    ///< records in the new Combined RS
+  std::uint64_t output_incomplete = 0;  ///< records in the new From RS
+  std::uint64_t purged = 0;             ///< dead records dropped (§5.2)
+  std::uint64_t bytes_before = 0;
+  std::uint64_t bytes_after = 0;
+  std::uint64_t pages_read = 0;
+  std::uint64_t pages_written = 0;
+  std::uint64_t wall_micros = 0;
+};
+
+struct DbStats {
+  std::uint64_t from_runs = 0;
+  std::uint64_t to_runs = 0;
+  std::uint64_t combined_runs = 0;
+  std::uint64_t db_bytes = 0;      ///< total size of all run files
+  std::uint64_t run_records = 0;   ///< records across all runs
+  std::size_t ws_from = 0;
+  std::size_t ws_to = 0;
+  std::uint64_t dv_entries = 0;
+  std::uint64_t partitions = 0;
+};
+
+class BacklogDb {
+ public:
+  /// Opens (or creates) the database rooted at `env`. If a manifest exists,
+  /// the previous state — run files, snapshot registry, deletion vectors —
+  /// is recovered (§5.4); the write store starts empty and the file system
+  /// replays its journal through add/remove_reference.
+  explicit BacklogDb(storage::Env& env, BacklogOptions options = {});
+  ~BacklogDb();
+
+  BacklogDb(const BacklogDb&) = delete;
+  BacklogDb& operator=(const BacklogDb&) = delete;
+
+  // --- update path (§5): no disk I/O, ever ---------------------------------
+
+  /// Block-reference-added callback: `key` became live at the current CP.
+  void add_reference(const BackrefKey& key);
+
+  /// Block-reference-removed callback: `key` died at the current CP.
+  void remove_reference(const BackrefKey& key);
+
+  // --- consistency points ----------------------------------------------------
+
+  /// Flush the write store as new Level-0 runs (one per touched partition
+  /// and table), persist the manifest, and advance the global CP number.
+  CpFlushStats consistency_point();
+
+  [[nodiscard]] Epoch current_cp() const noexcept { return registry_.current_cp(); }
+
+  /// The snapshot registry: the file system takes snapshots, creates clones
+  /// and deletes snapshots through this. State persists with the manifest.
+  [[nodiscard]] SnapshotRegistry& registry() noexcept { return registry_; }
+  [[nodiscard]] const SnapshotRegistry& registry() const noexcept {
+    return registry_;
+  }
+
+  // --- queries (§4.2, §6.4) -------------------------------------------------
+
+  /// All owners of physical blocks [first, first+count): "tell me all the
+  /// objects containing this block". Sorted by record order.
+  [[nodiscard]] std::vector<BackrefEntry> query(BlockNo first,
+                                                std::uint64_t count = 1,
+                                                const QueryOptions& opts = {});
+
+  /// Raw joined records (no expansion, no masking) — verifier/test hook.
+  [[nodiscard]] std::vector<CombinedRecord> query_raw(BlockNo first,
+                                                      std::uint64_t count = 1);
+
+  /// Every joined record in the database (unmasked, unexpanded).
+  [[nodiscard]] std::vector<CombinedRecord> scan_all();
+
+  /// Drop cached pages (cold-cache query experiments, §6.4).
+  void clear_cache();
+
+  // --- maintenance (§5.2) -----------------------------------------------------
+
+  /// Compact every partition: merge runs, precompute Combined, purge dead
+  /// records, apply + consume the deletion vectors. Requires an empty write
+  /// store (call right after consistency_point()).
+  MaintenanceStats maintain();
+
+  /// Selective compaction (§5.3): compact only the partition that covers
+  /// `block`. Lets hot block ranges be maintained without paying for the
+  /// whole volume. Same empty-write-store requirement as maintain().
+  MaintenanceStats maintain_partition(BlockNo block);
+
+  // --- relocation (§3, §5.1 deletion vector) ---------------------------------
+
+  /// Rewrite all back references of extent [old_block, old_block+length) to
+  /// point at new_block: RS copies are suppressed through the deletion
+  /// vectors and re-emitted (re-keyed) as fresh Level-0 runs; WS entries are
+  /// re-keyed in place. Returns the number of rewritten records. The caller
+  /// (file system) is responsible for updating its own block pointers.
+  std::uint64_t relocate(BlockNo old_block, std::uint64_t length,
+                         BlockNo new_block);
+
+  [[nodiscard]] DbStats stats() const;
+  [[nodiscard]] const BacklogOptions& options() const noexcept { return options_; }
+
+ private:
+  enum class Table : std::uint8_t { kFrom = 0, kTo = 1, kCombined = 2 };
+
+  struct RunMeta {
+    std::string name;
+    Table table;
+    std::uint64_t partition = 0;
+    std::uint64_t record_count = 0;
+    std::uint64_t size_bytes = 0;
+    util::BloomFilter bloom;  // always resident (§5.1)
+    std::vector<std::uint8_t> min_rec, max_rec;
+  };
+
+  struct Partition {
+    std::vector<std::shared_ptr<RunMeta>> from_runs;
+    std::vector<std::shared_ptr<RunMeta>> to_runs;
+    std::vector<std::shared_ptr<RunMeta>> combined_runs;
+  };
+
+  [[nodiscard]] std::uint64_t partition_of(BlockNo block) const {
+    return block / options_.partition_blocks;
+  }
+
+  // Run-file lifecycle.
+  std::shared_ptr<RunMeta> load_run_meta(const std::string& name, Table table,
+                                         std::uint64_t partition);
+  std::shared_ptr<lsm::RunFile> open_run(const RunMeta& meta);
+  void drop_run(const RunMeta& meta);
+  std::string new_run_name(Table table, std::uint64_t partition);
+
+  // Flush helpers.
+  std::uint64_t flush_table(const std::vector<std::uint8_t>& sorted,
+                            std::size_t record_size, Table table);
+
+  // Stepped-Merge intermediate levels (§5.1): when a partition holds more
+  // runs than can be merged in one pass (bounded by open-file capacity),
+  // batches of the oldest runs are pre-merged into single larger runs.
+  void merge_run_batches(std::vector<std::shared_ptr<RunMeta>>& runs,
+                         Table table, std::uint64_t partition);
+
+  // Compaction of a single partition; accumulates into `s`.
+  void maintain_one(std::uint64_t pid, Partition& part, MaintenanceStats& s);
+
+  // Query plumbing. Returns a sorted stream of records in
+  // [block_lo, block_hi) for the given table within one partition, merged
+  // across runs (+ WS for From/To) and filtered through the deletion vector.
+  std::unique_ptr<lsm::RecordStream> table_stream(const Partition& part,
+                                                  Table table, BlockNo block_lo,
+                                                  BlockNo block_hi,
+                                                  bool include_ws);
+  [[nodiscard]] bool run_may_intersect(const RunMeta& meta, BlockNo block_lo,
+                                       BlockNo block_hi) const;
+  std::vector<CombinedRecord> collect_raw(BlockNo block_lo, BlockNo block_hi);
+  void expand_inheritance(std::vector<CombinedRecord>& records) const;
+
+  // Manifest: a base snapshot plus an append-only edit log. Every CP
+  // appends one small edit record (new registry state + runs added since
+  // the last edit); maintenance rewrites the base and truncates the log.
+  // This keeps the per-CP manifest cost O(1) even with thousands of
+  // accumulated Level-0 runs between compactions.
+  void save_manifest();         // full rewrite (open/maintain)
+  void append_manifest_edit();  // per-CP delta
+  void load_manifest();
+  void remove_orphan_runs();
+
+  lsm::DeletionVector& dv(Table table);
+  [[nodiscard]] const lsm::DeletionVector& dv(Table table) const;
+
+  storage::Env& env_;
+  BacklogOptions options_;
+  SnapshotRegistry registry_;
+  WriteStore ws_;
+  storage::PageCache cache_;
+  std::map<std::uint64_t, Partition> partitions_;
+  std::uint64_t next_run_id_ = 1;
+  std::uint64_t ops_since_cp_ = 0;
+  // Largest extent length ever referenced: queries for block b must begin
+  // scanning at b - (max_extent_seen_ - 1) to catch covering extents.
+  // 1 for block-granularity workloads, so the overscan is usually zero.
+  std::uint64_t max_extent_seen_ = 1;
+
+  // Runs created since the last manifest write (base or edit).
+  std::vector<std::shared_ptr<RunMeta>> pending_manifest_runs_;
+  std::unique_ptr<storage::WritableFile> manifest_log_;
+
+  lsm::DeletionVector dv_from_{kFromRecordSize};
+  lsm::DeletionVector dv_to_{kToRecordSize};
+  lsm::DeletionVector dv_combined_{kCombinedRecordSize};
+  bool dv_dirty_ = false;
+
+  // Open-file LRU over run files (bounded fd usage with many L0 runs).
+  std::unordered_map<std::string, std::shared_ptr<lsm::RunFile>> open_runs_;
+  std::list<std::string> open_lru_;
+};
+
+}  // namespace backlog::core

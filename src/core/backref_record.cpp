@@ -1,0 +1,26 @@
+#include "core/backref_record.hpp"
+
+#include <sstream>
+
+namespace backlog::core {
+
+std::string to_string(const BackrefKey& k) {
+  std::ostringstream os;
+  os << "{block=" << k.block << " len=" << k.length << " inode=" << k.inode
+     << " off=" << k.offset << " line=" << k.line << "}";
+  return os.str();
+}
+
+std::string to_string(const CombinedRecord& r) {
+  std::ostringstream os;
+  os << to_string(r.key) << "[" << r.from << ",";
+  if (r.to == kInfinity) {
+    os << "inf";
+  } else {
+    os << r.to;
+  }
+  os << ")";
+  return os.str();
+}
+
+}  // namespace backlog::core

@@ -1,0 +1,99 @@
+#include "core/join.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+namespace backlog::core {
+
+std::vector<CombinedRecord> join_group(const BackrefKey& key,
+                                       const std::vector<Epoch>& froms,
+                                       const std::vector<Epoch>& tos) {
+  std::vector<CombinedRecord> out;
+  out.reserve(std::max(froms.size(), tos.size()));
+  std::size_t ti = 0;
+  for (const Epoch f : froms) {
+    // To entries strictly before this From can no longer match it, nor any
+    // later From (froms ascend) — they are structural-inheritance overrides
+    // that join the implicit from = 0.
+    while (ti < tos.size() && tos[ti] < f) {
+      out.push_back({key, 0, tos[ti]});
+      ++ti;
+    }
+    if (ti < tos.size() && tos[ti] == f) {
+      // from == to: the reference was created and destroyed within one CP
+      // (only possible when WS pruning is disabled) — no consistency point
+      // can observe it, so both sides annihilate (§4.2, pruning rule).
+      ++ti;
+      continue;
+    }
+    if (ti < tos.size()) {
+      out.push_back({key, f, tos[ti]});
+      ++ti;
+    } else {
+      out.push_back({key, f, kInfinity});  // incomplete (live) record
+    }
+  }
+  for (; ti < tos.size(); ++ti) out.push_back({key, 0, tos[ti]});
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+OuterJoinStream::OuterJoinStream(std::unique_ptr<lsm::RecordStream> from_in,
+                                 std::unique_ptr<lsm::RecordStream> to_in)
+    : from_(std::move(from_in)), to_(std::move(to_in)) {
+  refill();
+}
+
+bool OuterJoinStream::valid() const { return pos_ < group_out_.size(); }
+
+std::span<const std::uint8_t> OuterJoinStream::record() const {
+  return {group_out_.data() + pos_, kCombinedRecordSize};
+}
+
+void OuterJoinStream::next() {
+  pos_ += kCombinedRecordSize;
+  if (pos_ >= group_out_.size()) refill();
+}
+
+void OuterJoinStream::refill() {
+  group_out_.clear();
+  pos_ = 0;
+  const bool from_ok = from_ != nullptr && from_->valid();
+  const bool to_ok = to_ != nullptr && to_->valid();
+  if (!from_ok && !to_ok) return;
+
+  // The next group is the smaller of the two heads' 40-byte key prefixes.
+  std::uint8_t group_key[kKeySize];
+  if (from_ok && to_ok) {
+    const int c = std::memcmp(from_->record().data(), to_->record().data(),
+                              kKeySize);
+    std::memcpy(group_key, (c <= 0 ? from_ : to_)->record().data(), kKeySize);
+  } else if (from_ok) {
+    std::memcpy(group_key, from_->record().data(), kKeySize);
+  } else {
+    std::memcpy(group_key, to_->record().data(), kKeySize);
+  }
+  const BackrefKey key = decode_key(group_key);
+
+  std::vector<Epoch> froms;
+  while (from_ != nullptr && from_->valid() &&
+         std::memcmp(from_->record().data(), group_key, kKeySize) == 0) {
+    froms.push_back(decode_from(from_->record().data()).from);
+    from_->next();
+  }
+  std::vector<Epoch> tos;
+  while (to_ != nullptr && to_->valid() &&
+         std::memcmp(to_->record().data(), group_key, kKeySize) == 0) {
+    tos.push_back(decode_to(to_->record().data()).to);
+    to_->next();
+  }
+  // Run-file streams already deliver epochs ascending within a key group
+  // (epoch is the record suffix); merged streams preserve that.
+  const std::vector<CombinedRecord> joined = join_group(key, froms, tos);
+  group_out_.resize(joined.size() * kCombinedRecordSize);
+  for (std::size_t i = 0; i < joined.size(); ++i) {
+    encode_combined(joined[i], group_out_.data() + i * kCombinedRecordSize);
+  }
+}
+
+}  // namespace backlog::core

@@ -1,0 +1,261 @@
+#include "core/snapshot_registry.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace backlog::core {
+
+SnapshotRegistry::SnapshotRegistry() {
+  LineInfo root;
+  root.id = 0;
+  root.created_at = 1;
+  root.live = true;
+  lines_.emplace(0, std::move(root));
+}
+
+Epoch SnapshotRegistry::advance_cp() { return ++current_cp_; }
+
+const SnapshotRegistry::LineInfo& SnapshotRegistry::info(LineId line) const {
+  auto it = lines_.find(line);
+  if (it == lines_.end())
+    throw std::invalid_argument("SnapshotRegistry: unknown line " +
+                                std::to_string(line));
+  return it->second;
+}
+
+SnapshotRegistry::LineInfo& SnapshotRegistry::info(LineId line) {
+  return const_cast<LineInfo&>(
+      static_cast<const SnapshotRegistry*>(this)->info(line));
+}
+
+bool SnapshotRegistry::line_exists(LineId line) const {
+  return lines_.contains(line);
+}
+
+bool SnapshotRegistry::line_live(LineId line) const { return info(line).live; }
+
+Epoch SnapshotRegistry::take_snapshot(LineId line) {
+  LineInfo& li = info(line);
+  if (!li.live)
+    throw std::logic_error("take_snapshot: line has no live head");
+  li.snapshots.insert(current_cp_);
+  return current_cp_;
+}
+
+LineId SnapshotRegistry::create_clone(LineId parent, Epoch version) {
+  LineInfo& p = info(parent);
+  if (!p.snapshots.contains(version) && !p.zombies.contains(version))
+    throw std::invalid_argument("create_clone: (line " + std::to_string(parent) +
+                                ", v" + std::to_string(version) +
+                                ") is not a retained snapshot");
+  const LineId id = next_line_++;
+  LineInfo li;
+  li.id = id;
+  li.parent = parent;
+  li.branch_version = version;
+  li.created_at = current_cp_;
+  li.live = true;
+  p.children.push_back({id, version});
+  lines_.emplace(id, std::move(li));
+  return id;
+}
+
+void SnapshotRegistry::delete_snapshot(LineId line, Epoch version) {
+  LineInfo& li = info(line);
+  if (!li.snapshots.erase(version))
+    throw std::invalid_argument("delete_snapshot: (line " + std::to_string(line) +
+                                ", v" + std::to_string(version) +
+                                ") is not retained");
+  // §4.2.2: a cloned snapshot becomes a zombie so its back references are
+  // not purged while descendants remain.
+  const bool cloned = std::any_of(
+      li.children.begin(), li.children.end(), [&](const CloneEdge& e) {
+        return e.branch_version == version && lines_.contains(e.child);
+      });
+  if (cloned) li.zombies.insert(version);
+}
+
+void SnapshotRegistry::kill_line(LineId line) { info(line).live = false; }
+
+std::size_t SnapshotRegistry::collect_zombies() {
+  std::size_t dropped = 0;
+  // Iterate to fixpoint: forgetting a line can orphan a zombie in its
+  // parent, which can in turn let the parent line itself be forgotten.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (auto& [id, li] : lines_) {
+      // Prune clone edges to lines that no longer exist.
+      auto& ch = li.children;
+      const auto old_size = ch.size();
+      ch.erase(std::remove_if(ch.begin(), ch.end(),
+                              [&](const CloneEdge& e) {
+                                return !lines_.contains(e.child);
+                              }),
+               ch.end());
+      if (ch.size() != old_size) changed = true;
+      // Drop zombies no live edge branches from.
+      for (auto it = li.zombies.begin(); it != li.zombies.end();) {
+        const Epoch v = *it;
+        const bool needed = std::any_of(
+            ch.begin(), ch.end(),
+            [&](const CloneEdge& e) { return e.branch_version == v; });
+        if (!needed) {
+          it = li.zombies.erase(it);
+          ++dropped;
+          changed = true;
+        } else {
+          ++it;
+        }
+      }
+    }
+    // Forget fully-dead lines (never forget line 0, the root).
+    for (auto it = lines_.begin(); it != lines_.end();) {
+      const LineInfo& li = it->second;
+      if (li.id != 0 && !li.live && li.snapshots.empty() && li.zombies.empty() &&
+          li.children.empty()) {
+        it = lines_.erase(it);
+        changed = true;
+      } else {
+        ++it;
+      }
+    }
+  }
+  return dropped;
+}
+
+std::vector<Epoch> SnapshotRegistry::snapshots(LineId line) const {
+  const LineInfo& li = info(line);
+  return {li.snapshots.begin(), li.snapshots.end()};
+}
+
+std::vector<Epoch> SnapshotRegistry::valid_versions_in(LineId line, Epoch from,
+                                                       Epoch to) const {
+  auto it = lines_.find(line);
+  if (it == lines_.end()) return {};
+  const LineInfo& li = it->second;
+  std::vector<Epoch> out;
+  for (auto s = li.snapshots.lower_bound(from); s != li.snapshots.end() && *s < to;
+       ++s) {
+    out.push_back(*s);
+  }
+  if (li.live && from <= current_cp_ && current_cp_ < to) {
+    if (out.empty() || out.back() != current_cp_) out.push_back(current_cp_);
+  }
+  return out;
+}
+
+bool SnapshotRegistry::interval_protected(LineId line, Epoch from,
+                                          Epoch to) const {
+  auto it = lines_.find(line);
+  if (it == lines_.end()) return false;
+  const LineInfo& li = it->second;
+  if (li.live && from <= current_cp_ && current_cp_ < to) return true;
+  auto s = li.snapshots.lower_bound(from);
+  if (s != li.snapshots.end() && *s < to) return true;
+  auto z = li.zombies.lower_bound(from);
+  if (z != li.zombies.end() && *z < to) return true;
+  for (const CloneEdge& e : li.children) {
+    if (lines_.contains(e.child) && from <= e.branch_version &&
+        e.branch_version < to) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::vector<CloneEdge> SnapshotRegistry::clones_of(LineId line) const {
+  auto it = lines_.find(line);
+  if (it == lines_.end()) return {};
+  std::vector<CloneEdge> out;
+  for (const CloneEdge& e : it->second.children) {
+    if (lines_.contains(e.child)) out.push_back(e);
+  }
+  return out;
+}
+
+std::vector<LineId> SnapshotRegistry::lines() const {
+  std::vector<LineId> out;
+  out.reserve(lines_.size());
+  for (const auto& [id, li] : lines_) out.push_back(id);
+  return out;
+}
+
+std::optional<ParentEdge> SnapshotRegistry::parent_of(LineId line) const {
+  const LineInfo& li = info(line);
+  if (!li.parent) return std::nullopt;
+  return ParentEdge{*li.parent, li.branch_version};
+}
+
+std::size_t SnapshotRegistry::zombie_count() const {
+  std::size_t n = 0;
+  for (const auto& [id, li] : lines_) n += li.zombies.size();
+  return n;
+}
+
+void SnapshotRegistry::serialize(std::vector<std::uint8_t>& out) const {
+  util::append_u64(out, current_cp_);
+  util::append_u64(out, next_line_);
+  util::append_u64(out, lines_.size());
+  for (const auto& [id, li] : lines_) {
+    util::append_u64(out, li.id);
+    util::append_u64(out, li.parent ? *li.parent + 1 : 0);  // 0 = none
+    util::append_u64(out, li.branch_version);
+    util::append_u64(out, li.created_at);
+    util::append_u64(out, li.live ? 1 : 0);
+    util::append_u64(out, li.snapshots.size());
+    for (Epoch v : li.snapshots) util::append_u64(out, v);
+    util::append_u64(out, li.zombies.size());
+    for (Epoch v : li.zombies) util::append_u64(out, v);
+    util::append_u64(out, li.children.size());
+    for (const CloneEdge& e : li.children) {
+      util::append_u64(out, e.child);
+      util::append_u64(out, e.branch_version);
+    }
+  }
+}
+
+SnapshotRegistry SnapshotRegistry::deserialize(std::span<const std::uint8_t> in,
+                                               std::size_t* consumed) {
+  std::size_t pos = 0;
+  auto need = [&](std::size_t n) {
+    if (pos + n > in.size())
+      throw std::runtime_error("SnapshotRegistry: truncated blob");
+  };
+  auto read_u64 = [&]() {
+    need(8);
+    const std::uint64_t v = util::get_u64(in.data() + pos);
+    pos += 8;
+    return v;
+  };
+  SnapshotRegistry reg;
+  reg.lines_.clear();
+  reg.current_cp_ = read_u64();
+  reg.next_line_ = read_u64();
+  const std::uint64_t line_count = read_u64();
+  for (std::uint64_t i = 0; i < line_count; ++i) {
+    LineInfo li;
+    li.id = read_u64();
+    const std::uint64_t parent_plus1 = read_u64();
+    if (parent_plus1 != 0) li.parent = parent_plus1 - 1;
+    li.branch_version = read_u64();
+    li.created_at = read_u64();
+    li.live = read_u64() != 0;
+    const std::uint64_t snap_count = read_u64();
+    for (std::uint64_t j = 0; j < snap_count; ++j) li.snapshots.insert(read_u64());
+    const std::uint64_t zombie_count = read_u64();
+    for (std::uint64_t j = 0; j < zombie_count; ++j) li.zombies.insert(read_u64());
+    const std::uint64_t child_count = read_u64();
+    for (std::uint64_t j = 0; j < child_count; ++j) {
+      CloneEdge e;
+      e.child = read_u64();
+      e.branch_version = read_u64();
+      li.children.push_back(e);
+    }
+    reg.lines_.emplace(li.id, std::move(li));
+  }
+  if (consumed != nullptr) *consumed = pos;
+  return reg;
+}
+
+}  // namespace backlog::core

@@ -1,0 +1,136 @@
+// Snapshot lines, versions, clones and zombies (§2 Fig. 3, §4.2.2).
+//
+// A (line, version) pair uniquely identifies a snapshot or consistency
+// point; the version is the global CP number at which it was taken. Creating
+// a writable clone of snapshot (l, v) starts a new line l' whose back
+// references are *implicit* (structural inheritance) — the registry records
+// the branch point so the query engine can expand inherited records and so
+// maintenance knows which epochs must survive purging.
+//
+// Zombies: deleting a snapshot that has been cloned must not allow its back
+// references to be purged (descendant lines still inherit through it), so
+// the snapshot id moves to a zombie set and is dropped only once every
+// descendant clone is gone (§4.2.2, last paragraph).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/backref_record.hpp"
+#include "storage/env.hpp"
+
+namespace backlog::core {
+
+/// A clone edge: line `child` was created from snapshot (parent, version).
+struct CloneEdge {
+  LineId child = 0;
+  Epoch branch_version = 0;
+};
+
+/// The inverse view: `line` was cloned from snapshot (parent, version).
+struct ParentEdge {
+  LineId parent = 0;
+  Epoch branch_version = 0;
+};
+
+class SnapshotRegistry {
+ public:
+  /// A fresh registry has line 0, live, at CP 1 (CP 0 is reserved so that
+  /// `from == 0` can mean "structural-inheritance override", §4.2.2).
+  SnapshotRegistry();
+
+  // --- global clock --------------------------------------------------------
+
+  /// The current (in-progress) global consistency point number.
+  [[nodiscard]] Epoch current_cp() const noexcept { return current_cp_; }
+
+  /// Completes the current CP and starts the next; returns the new number.
+  Epoch advance_cp();
+
+  // --- lines and snapshots -------------------------------------------------
+
+  /// True if `line` exists (live, dead-but-retained, or zombie).
+  [[nodiscard]] bool line_exists(LineId line) const;
+
+  /// True if `line` is writable (its head is the live file system).
+  [[nodiscard]] bool line_live(LineId line) const;
+
+  /// Retain the state of `line` as of the current CP as a snapshot; returns
+  /// its version (the current CP number).
+  Epoch take_snapshot(LineId line);
+
+  /// Create a writable clone of snapshot (parent, version); returns the new
+  /// line id. The version must be a retained snapshot or zombie of parent.
+  LineId create_clone(LineId parent, Epoch version);
+
+  /// Delete snapshot (line, version). If clones branch from it, it becomes a
+  /// zombie instead of disappearing (its back references must survive).
+  void delete_snapshot(LineId line, Epoch version);
+
+  /// Stop the live head of a line (e.g. deleting a writable clone's working
+  /// state). Its snapshots remain until individually deleted.
+  void kill_line(LineId line);
+
+  /// Drop zombie versions that no longer have descendant clones, and forget
+  /// lines with no snapshots, no zombies, no clones and no live head.
+  /// Returns the number of zombie versions dropped.
+  std::size_t collect_zombies();
+
+  // --- query support ---------------------------------------------------------
+
+  /// Retained snapshot versions of `line` (ascending). Does not include the
+  /// live head or zombies.
+  [[nodiscard]] std::vector<Epoch> snapshots(LineId line) const;
+
+  /// Versions in [from, to) that are visible to queries: retained snapshots,
+  /// plus the live head (reported as current_cp()) when the line is live.
+  [[nodiscard]] std::vector<Epoch> valid_versions_in(LineId line, Epoch from,
+                                                     Epoch to) const;
+
+  /// True if any *protected* epoch lies in [from, to): a retained snapshot,
+  /// a zombie version, a clone branch point, or the live head. Records whose
+  /// interval contains no protected epoch are purged by maintenance (§5.2).
+  [[nodiscard]] bool interval_protected(LineId line, Epoch from, Epoch to) const;
+
+  /// Clone edges out of `line` (for structural-inheritance expansion).
+  [[nodiscard]] std::vector<CloneEdge> clones_of(LineId line) const;
+
+  /// All known line ids (ascending), for verifiers and stats.
+  [[nodiscard]] std::vector<LineId> lines() const;
+
+  /// Parent edge of `line` (nullopt for root lines).
+  [[nodiscard]] std::optional<ParentEdge> parent_of(LineId line) const;
+
+  [[nodiscard]] std::size_t zombie_count() const;
+
+  // --- persistence (part of the Backlog manifest, §5.4) ---------------------
+
+  void serialize(std::vector<std::uint8_t>& out) const;
+  static SnapshotRegistry deserialize(std::span<const std::uint8_t> in,
+                                      std::size_t* consumed);
+
+ private:
+  struct LineInfo {
+    LineId id = 0;
+    std::optional<LineId> parent;
+    Epoch branch_version = 0;  ///< version of parent this line branched from
+    Epoch created_at = 0;      ///< CP at which the line came into existence
+    bool live = true;
+    std::set<Epoch> snapshots;        ///< retained, queryable versions
+    std::set<Epoch> zombies;          ///< deleted-but-cloned versions
+    std::vector<CloneEdge> children;  ///< clone edges out of this line
+  };
+
+  [[nodiscard]] const LineInfo& info(LineId line) const;
+  LineInfo& info(LineId line);
+
+  Epoch current_cp_ = 1;
+  LineId next_line_ = 1;
+  std::map<LineId, LineInfo> lines_;
+};
+
+}  // namespace backlog::core

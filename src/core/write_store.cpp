@@ -1,0 +1,125 @@
+#include "core/write_store.hpp"
+
+namespace backlog::core {
+
+WsUpdate WriteStore::add_reference(const BackrefKey& key, Epoch cp) {
+  if (pruning_) {
+    // Reallocation within one CP: the reference died and came back before
+    // anything hit disk, so its lifetime never actually ended — erase the
+    // buffered To entry and leave the original (older) From record alone.
+    if (to_.erase(ToRecord{key, cp}) > 0) return WsUpdate::kPrunedMerge;
+  }
+  from_.insert(FromRecord{key, cp});
+  return WsUpdate::kInserted;
+}
+
+WsUpdate WriteStore::remove_reference(const BackrefKey& key, Epoch cp) {
+  if (pruning_) {
+    // Created and destroyed within one CP: annihilate (a from == to record
+    // would describe an interval no consistency point can observe).
+    if (from_.erase(FromRecord{key, cp}) > 0) return WsUpdate::kPrunedAnnihilate;
+  }
+  to_.insert(ToRecord{key, cp});
+  return WsUpdate::kInserted;
+}
+
+std::vector<std::uint8_t> WriteStore::encode_from_sorted() const {
+  std::vector<std::uint8_t> out(from_.size() * kFromRecordSize);
+  std::size_t pos = 0;
+  for (const FromRecord& r : from_) {
+    encode_from(r, out.data() + pos);
+    pos += kFromRecordSize;
+  }
+  return out;
+}
+
+std::vector<std::uint8_t> WriteStore::encode_to_sorted() const {
+  std::vector<std::uint8_t> out(to_.size() * kToRecordSize);
+  std::size_t pos = 0;
+  for (const ToRecord& r : to_) {
+    encode_to(r, out.data() + pos);
+    pos += kToRecordSize;
+  }
+  return out;
+}
+
+namespace {
+// Smallest possible key with the given block: all other fields zero (note
+// that BackrefKey's default length is 1, so build explicitly).
+BackrefKey range_floor(BlockNo block) {
+  BackrefKey k;
+  k.block = block;
+  k.inode = 0;
+  k.offset = 0;
+  k.length = 0;
+  k.line = 0;
+  return k;
+}
+}  // namespace
+
+std::vector<std::uint8_t> WriteStore::encode_from_range(BlockNo block_lo,
+                                                        BlockNo block_hi) const {
+  std::vector<std::uint8_t> out;
+  for (auto it = from_.lower_bound(FromRecord{range_floor(block_lo), 0});
+       it != from_.end() && it->key.block < block_hi; ++it) {
+    const std::size_t n = out.size();
+    out.resize(n + kFromRecordSize);
+    encode_from(*it, out.data() + n);
+  }
+  return out;
+}
+
+std::vector<std::uint8_t> WriteStore::encode_to_range(BlockNo block_lo,
+                                                      BlockNo block_hi) const {
+  std::vector<std::uint8_t> out;
+  for (auto it = to_.lower_bound(ToRecord{range_floor(block_lo), 0});
+       it != to_.end() && it->key.block < block_hi; ++it) {
+    const std::size_t n = out.size();
+    out.resize(n + kToRecordSize);
+    encode_to(*it, out.data() + n);
+  }
+  return out;
+}
+
+std::size_t WriteStore::rekey_block_range(BlockNo block_lo, BlockNo block_hi,
+                                          BlockNo new_lo) {
+  std::size_t moved = 0;
+  std::vector<FromRecord> from_hits;
+  for (auto it = from_.lower_bound(FromRecord{range_floor(block_lo), 0});
+       it != from_.end() && it->key.block < block_hi;) {
+    from_hits.push_back(*it);
+    it = from_.erase(it);
+  }
+  for (FromRecord r : from_hits) {
+    r.key.block = r.key.block - block_lo + new_lo;
+    from_.insert(r);
+    ++moved;
+  }
+  std::vector<ToRecord> to_hits;
+  for (auto it = to_.lower_bound(ToRecord{range_floor(block_lo), 0});
+       it != to_.end() && it->key.block < block_hi;) {
+    to_hits.push_back(*it);
+    it = to_.erase(it);
+  }
+  for (ToRecord r : to_hits) {
+    r.key.block = r.key.block - block_lo + new_lo;
+    to_.insert(r);
+    ++moved;
+  }
+  return moved;
+}
+
+WriteStore::Erased WriteStore::erase_key(const BackrefKey& key, Epoch cp) {
+  Erased e;
+  if (from_.erase(FromRecord{key, cp}) > 0) {
+    e.from = true;
+    e.from_epoch = cp;
+  }
+  if (to_.erase(ToRecord{key, cp}) > 0) {
+    e.to = true;
+    e.to_epoch = cp;
+  }
+  return e;
+}
+
+}  // namespace backlog::core

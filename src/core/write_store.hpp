@@ -1,0 +1,99 @@
+// In-memory write stores for the From and To tables (§5, §5.1).
+//
+// The WS is a balanced tree sorted the same way as the on-disk runs, so that
+// (a) the CP flush can build the run file bottom-up with zero sorting work
+// and (b) proactive pruning can find the entry it needs in O(log n):
+//
+//  * add+remove within one CP  -> both sides are still in memory; the From
+//    entry is erased and nothing is ever written (records with from == to
+//    never materialize);
+//  * remove+re-add within one CP (reallocation) -> the buffered To entry is
+//    erased, so the original From record simply stays incomplete and the
+//    reference's lifetime continues uninterrupted (the paper's "3..present"
+//    example).
+//
+// Invariant: every epoch stored in the WS equals the *current* CP number —
+// the WS is flushed at every consistency point, which is what makes pruning
+// a pure in-memory operation.
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "core/backref_record.hpp"
+
+namespace backlog::core {
+
+/// Outcome of an update, for stats and tests.
+enum class WsUpdate {
+  kInserted,        ///< a new WS entry was created
+  kPrunedAnnihilate,///< add+remove in one CP cancelled out (nothing remains)
+  kPrunedMerge,     ///< remove+add in one CP merged intervals (To erased)
+};
+
+class WriteStore {
+ public:
+  /// `pruning` off is used only by the ablation bench (§5.1 design choice).
+  explicit WriteStore(bool pruning = true) : pruning_(pruning) {}
+
+  /// A reference to `key` became live at the current CP `cp`.
+  WsUpdate add_reference(const BackrefKey& key, Epoch cp);
+
+  /// The reference to `key` died at the current CP `cp`.
+  WsUpdate remove_reference(const BackrefKey& key, Epoch cp);
+
+  [[nodiscard]] std::size_t from_size() const noexcept { return from_.size(); }
+  [[nodiscard]] std::size_t to_size() const noexcept { return to_.size(); }
+  [[nodiscard]] bool empty() const noexcept {
+    return from_.empty() && to_.empty();
+  }
+
+  /// Sorted snapshots of the stores as encoded record buffers (the flush
+  /// path feeds these to RunWriter; the query path wraps them in streams).
+  [[nodiscard]] std::vector<std::uint8_t> encode_from_sorted() const;
+  [[nodiscard]] std::vector<std::uint8_t> encode_to_sorted() const;
+
+  /// Encoded entries whose block lies in [block_lo, block_hi) — the query
+  /// path merges these with the on-disk runs.
+  [[nodiscard]] std::vector<std::uint8_t> encode_from_range(BlockNo block_lo,
+                                                            BlockNo block_hi) const;
+  [[nodiscard]] std::vector<std::uint8_t> encode_to_range(BlockNo block_lo,
+                                                          BlockNo block_hi) const;
+
+  /// Relocation support: rewrite the block field of every entry whose block
+  /// lies in [block_lo, block_hi) to (block - block_lo + new_lo). Returns
+  /// the number of entries rewritten.
+  std::size_t rekey_block_range(BlockNo block_lo, BlockNo block_hi,
+                                BlockNo new_lo);
+
+  [[nodiscard]] const std::set<FromRecord>& from_entries() const noexcept {
+    return from_;
+  }
+  [[nodiscard]] const std::set<ToRecord>& to_entries() const noexcept {
+    return to_;
+  }
+
+  /// Drop everything (after a successful CP flush, or to simulate a crash).
+  void clear() {
+    from_.clear();
+    to_.clear();
+  }
+
+  /// Remove WS entries matching an exact key (relocation support). Returns
+  /// the erased (from?, to?) entries' presence.
+  struct Erased {
+    bool from = false;
+    bool to = false;
+    Epoch from_epoch = 0;
+    Epoch to_epoch = 0;
+  };
+  Erased erase_key(const BackrefKey& key, Epoch cp);
+
+ private:
+  bool pruning_;
+  std::set<FromRecord> from_;
+  std::set<ToRecord> to_;
+};
+
+}  // namespace backlog::core

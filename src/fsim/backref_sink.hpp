@@ -1,0 +1,79 @@
+// The interface fsim drives back-reference implementations through (§5):
+// "we implement back references as a set of callback functions on the
+// following events: adding a block reference, removing a block reference,
+// and taking a consistency point."
+//
+// Three implementations exist, matching Table 1's three configurations:
+//   * NullSink           — the "Base" configuration (no back references);
+//   * baseline::NativeBackrefs — "Original": btrfs-style refcounted items in
+//     a global update-in-place metadata B-tree;
+//   * BacklogSink        — the paper's system (wraps core::BacklogDb).
+#pragma once
+
+#include <cstdint>
+
+#include "core/backlog_db.hpp"
+#include "core/backref_record.hpp"
+
+namespace backlog::fsim {
+
+/// Per-CP flush outcome in the units the paper reports.
+struct SinkCpStats {
+  core::Epoch cp = 0;
+  std::uint64_t block_ops = 0;
+  std::uint64_t pages_written = 0;
+  std::uint64_t wall_micros = 0;
+};
+
+class BackrefSink {
+ public:
+  virtual ~BackrefSink() = default;
+
+  virtual void add_reference(const core::BackrefKey& key) = 0;
+  virtual void remove_reference(const core::BackrefKey& key) = 0;
+
+  /// Flush whatever the implementation buffers. If this returns true from
+  /// advances_cp(), the implementation advanced the global CP number itself
+  /// (BacklogDb does, via its registry).
+  virtual SinkCpStats on_consistency_point() = 0;
+  [[nodiscard]] virtual bool advances_cp() const = 0;
+
+  /// Total on-disk footprint of the back-reference meta-data.
+  [[nodiscard]] virtual std::uint64_t db_bytes() const = 0;
+};
+
+/// Table 1 "Base": no back references at all.
+class NullSink final : public BackrefSink {
+ public:
+  void add_reference(const core::BackrefKey&) override {}
+  void remove_reference(const core::BackrefKey&) override {}
+  SinkCpStats on_consistency_point() override { return {}; }
+  [[nodiscard]] bool advances_cp() const override { return false; }
+  [[nodiscard]] std::uint64_t db_bytes() const override { return 0; }
+};
+
+/// The paper's system, adapted to the sink interface. Does not own the db.
+class BacklogSink final : public BackrefSink {
+ public:
+  explicit BacklogSink(core::BacklogDb& db) : db_(db) {}
+
+  void add_reference(const core::BackrefKey& key) override {
+    db_.add_reference(key);
+  }
+  void remove_reference(const core::BackrefKey& key) override {
+    db_.remove_reference(key);
+  }
+  SinkCpStats on_consistency_point() override {
+    const core::CpFlushStats s = db_.consistency_point();
+    return {s.cp, s.block_ops, s.pages_written, s.wall_micros};
+  }
+  [[nodiscard]] bool advances_cp() const override { return true; }
+  [[nodiscard]] std::uint64_t db_bytes() const override {
+    return db_.stats().db_bytes;
+  }
+
+ private:
+  core::BacklogDb& db_;
+};
+
+}  // namespace backlog::fsim

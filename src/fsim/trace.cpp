@@ -1,0 +1,248 @@
+#include "fsim/trace.hpp"
+
+#include <cmath>
+#include <functional>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace backlog::fsim {
+
+namespace {
+const char* type_name(TraceOpType t) {
+  switch (t) {
+    case TraceOpType::kCreate: return "create";
+    case TraceOpType::kWrite: return "write";
+    case TraceOpType::kAppend: return "append";
+    case TraceOpType::kTruncate: return "truncate";
+    case TraceOpType::kRemove: return "remove";
+  }
+  return "?";
+}
+
+TraceOpType parse_type(const std::string& s) {
+  if (s == "create") return TraceOpType::kCreate;
+  if (s == "write") return TraceOpType::kWrite;
+  if (s == "append") return TraceOpType::kAppend;
+  if (s == "truncate") return TraceOpType::kTruncate;
+  if (s == "remove") return TraceOpType::kRemove;
+  throw std::runtime_error("trace: unknown op type '" + s + "'");
+}
+}  // namespace
+
+void Trace::save(std::ostream& os) const {
+  os << "# backlog-trace v1 duration=" << duration_seconds << "\n";
+  for (const TraceOp& op : ops) {
+    os << op.timestamp << ' ' << type_name(op.type) << ' ' << op.file << ' '
+       << op.a << ' ' << op.b << '\n';
+  }
+}
+
+Trace Trace::load(std::istream& is) {
+  Trace t;
+  std::string line;
+  while (std::getline(is, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ls(line);
+    TraceOp op;
+    std::string type;
+    if (!(ls >> op.timestamp >> type >> op.file >> op.a >> op.b))
+      throw std::runtime_error("trace: malformed line: " + line);
+    op.type = parse_type(type);
+    t.ops.push_back(op);
+  }
+  if (!t.ops.empty()) t.duration_seconds = t.ops.back().timestamp;
+  return t;
+}
+
+Trace synthesize_eecs03_like(const TraceSynthOptions& options) {
+  util::Rng rng(options.seed);
+  Trace trace;
+  const double total_seconds = options.hours * 3600.0;
+  trace.duration_seconds = total_seconds;
+
+  // Live file-slot population model.
+  std::vector<std::uint64_t> live;
+  std::vector<std::uint64_t> live_size;  // blocks, parallel to `live`
+  std::uint64_t next_slot = 0;
+
+  double t = 0;
+  while (t < total_seconds) {
+    const double phase = t / total_seconds;
+    const double day_phase = std::fmod(t, 24.0 * 3600.0) / (24.0 * 3600.0);
+    // Diurnal curve: peak mid-day, trough at night.
+    const double diurnal =
+        options.diurnal_min_fraction +
+        (1.0 - options.diurnal_min_fraction) *
+            0.5 * (1.0 - std::cos(2.0 * M_PI * day_phase));
+    const double rate = options.ops_per_second_peak * diurnal;
+    // Exponential inter-arrival.
+    t += -std::log(1.0 - rng.uniform()) / std::max(rate, 1e-3);
+    if (t >= total_seconds) break;
+
+    const bool truncate_phase =
+        phase >= options.truncate_phase_begin && phase < options.truncate_phase_end;
+
+    TraceOp op;
+    op.timestamp = t;
+    double w_create = 0.30, w_write = 0.38, w_append = 0.12, w_trunc = 0.06,
+           w_remove = 0.14;
+    if (truncate_phase) {
+      // The §6.2.2 dip: a burst of setattr (truncate) + rewrite activity
+      // where most block references cancel within one CP.
+      w_create = 0.10;
+      w_write = 0.25;
+      w_append = 0.05;
+      w_trunc = 0.50;
+      w_remove = 0.10;
+    }
+    if (live.empty() || live.size() < 16) {
+      w_create = 1.0;
+      w_write = w_append = w_trunc = w_remove = 0;
+    } else if (live.size() >= options.max_live_files) {
+      w_remove += w_create;
+      w_create = 0;
+    }
+    const std::size_t kind =
+        util::sample_discrete(rng, {w_create, w_write, w_append, w_trunc, w_remove});
+    switch (kind) {
+      case 0: {
+        op.type = TraceOpType::kCreate;
+        op.file = next_slot++;
+        op.a = rng.chance(options.small_file_fraction) ? rng.between(1, 8)
+                                                       : rng.between(16, 128);
+        live.push_back(op.file);
+        live_size.push_back(op.a);
+        break;
+      }
+      case 1: {
+        const std::size_t i = static_cast<std::size_t>(rng.below(live.size()));
+        op.type = TraceOpType::kWrite;
+        op.file = live[i];
+        const std::uint64_t size = std::max<std::uint64_t>(live_size[i], 1);
+        op.a = rng.below(size);
+        op.b = 1 + rng.below(std::min<std::uint64_t>(size - op.a, 8));
+        break;
+      }
+      case 2: {
+        const std::size_t i = static_cast<std::size_t>(rng.below(live.size()));
+        op.type = TraceOpType::kAppend;
+        op.file = live[i];
+        op.a = 1 + rng.below(4);
+        live_size[i] += op.a;
+        break;
+      }
+      case 3: {
+        const std::size_t i = static_cast<std::size_t>(rng.below(live.size()));
+        op.type = TraceOpType::kTruncate;
+        op.file = live[i];
+        op.a = live_size[i] / 2;
+        live_size[i] = op.a;
+        // In the truncate phase, immediately regrow: churn that cancels
+        // within a CP (this is what produces the Fig. 7 dip).
+        break;
+      }
+      default: {
+        const std::size_t i = static_cast<std::size_t>(rng.below(live.size()));
+        op.type = TraceOpType::kRemove;
+        op.file = live[i];
+        live[i] = live.back();
+        live.pop_back();
+        live_size[i] = live_size.back();
+        live_size.pop_back();
+        break;
+      }
+    }
+    trace.ops.push_back(op);
+  }
+  return trace;
+}
+
+TracePlayer::TracePlayer(FileSystem& fs, LineId line) : fs_(fs), line_(line) {}
+
+void TracePlayer::apply(const TraceOp& op) {
+  switch (op.type) {
+    case TraceOpType::kCreate: {
+      slots_[op.file] = fs_.create_file(line_, op.a);
+      break;
+    }
+    case TraceOpType::kWrite: {
+      auto it = slots_.find(op.file);
+      if (it == slots_.end()) return;
+      fs_.write_file(line_, it->second, op.a, op.b);
+      break;
+    }
+    case TraceOpType::kAppend: {
+      auto it = slots_.find(op.file);
+      if (it == slots_.end()) return;
+      const std::uint64_t size = fs_.file_size_blocks(line_, it->second);
+      fs_.write_file(line_, it->second, size, op.a);
+      break;
+    }
+    case TraceOpType::kTruncate: {
+      auto it = slots_.find(op.file);
+      if (it == slots_.end()) return;
+      fs_.truncate_file(line_, it->second, op.a);
+      break;
+    }
+    case TraceOpType::kRemove: {
+      auto it = slots_.find(op.file);
+      if (it == slots_.end()) return;
+      fs_.delete_file(line_, it->second);
+      slots_.erase(it);
+      break;
+    }
+  }
+}
+
+std::vector<TraceHourStats> TracePlayer::play(
+    const Trace& trace,
+    const std::function<void(std::uint64_t hour_index)>& on_hour) {
+  std::vector<TraceHourStats> hours;
+  TraceHourStats cur;
+  std::uint64_t hour_index = 0;
+  double clock = 0;
+  std::uint64_t ops_at_hour_start =
+      fs_.stats().block_writes + fs_.stats().block_frees;
+
+  auto close_hour = [&]() {
+    cur.hour = static_cast<double>(hour_index + 1);
+    cur.block_ops =
+        fs_.stats().block_writes + fs_.stats().block_frees - ops_at_hour_start;
+    cur.db_bytes = fs_.has_db() ? fs_.db().stats().db_bytes : 0;
+    cur.data_bytes = fs_.stats().data_bytes();
+    hours.push_back(cur);
+    if (on_hour) on_hour(hour_index);
+    ++hour_index;
+    cur = TraceHourStats{};
+    ops_at_hour_start = fs_.stats().block_writes + fs_.stats().block_frees;
+  };
+
+  for (const TraceOp& op : trace.ops) {
+    // Advance simulated time in CP-interval steps so the 10 s trigger fires
+    // at the right moments, and close out whole hours as we pass them.
+    while (clock < op.timestamp) {
+      const double hour_end = (hour_index + 1) * 3600.0;
+      const double step = std::min(op.timestamp, hour_end) - clock;
+      fs_.advance_time(step);
+      clock += step;
+      if (auto s = fs_.maybe_consistency_point()) {
+        cur.pages_written += s->pages_written;
+        cur.cp_micros += s->wall_micros;
+        ++cur.cps;
+      }
+      if (clock >= hour_end) close_hour();
+    }
+    apply(op);
+    if (auto s = fs_.maybe_consistency_point()) {
+      cur.pages_written += s->pages_written;
+      cur.cp_micros += s->wall_micros;
+      ++cur.cps;
+    }
+  }
+  close_hour();
+  return hours;
+}
+
+}  // namespace backlog::fsim

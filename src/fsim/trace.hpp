@@ -1,0 +1,101 @@
+// NFS-trace support (§6.2.2).
+//
+// The paper replays the first 16 days of the EECS03 trace (Harvard EECS
+// home directories, Feb-Mar 2003). That trace is not redistributable, so —
+// per the substitution policy in DESIGN.md — this module provides:
+//
+//  * a simple timestamped trace format (and text serialization, so users can
+//    supply real traces);
+//  * a deterministic EECS03-like *synthesizer* reproducing the properties
+//    the experiment depends on: a write-rich op mix (1 write : 2 reads, only
+//    writes reach the block layer), diurnal load (low-load periods produce
+//    the per-op overhead spikes of Fig. 7), a truncate/setattr-heavy
+//    interval (the hours 200–250 dip, where most ops cancel within a CP),
+//    and a 90%-small-file population;
+//  * a player that advances simulated time (so the 10-second CP trigger
+//    fires exactly as in the paper) and applies each op to fsim.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "fsim/fsim.hpp"
+#include "util/random.hpp"
+
+namespace backlog::fsim {
+
+enum class TraceOpType : std::uint8_t {
+  kCreate,    ///< create file of `a` blocks; binds file slot `file`
+  kWrite,     ///< overwrite `b` blocks at offset `a` of slot `file`
+  kAppend,    ///< append `a` blocks to slot `file`
+  kTruncate,  ///< truncate slot `file` to `a` blocks (setattr)
+  kRemove,    ///< delete slot `file`
+};
+
+struct TraceOp {
+  double timestamp = 0;  ///< seconds from trace start
+  TraceOpType type = TraceOpType::kCreate;
+  std::uint64_t file = 0;  ///< trace-local file slot id
+  std::uint64_t a = 0;
+  std::uint64_t b = 0;
+};
+
+struct Trace {
+  std::vector<TraceOp> ops;
+  double duration_seconds = 0;
+
+  /// Text round-trip: one op per line, "ts type file a b".
+  void save(std::ostream& os) const;
+  static Trace load(std::istream& is);
+};
+
+struct TraceSynthOptions {
+  double hours = 16.0 * 24.0;       ///< trace length (paper: 16 days)
+  double ops_per_second_peak = 40;  ///< file-level op rate at peak load
+  double diurnal_min_fraction = 0.06;  ///< night load as a fraction of peak
+  /// Truncate-heavy interval (fraction of the trace): within it most ops are
+  /// setattr-style truncates that largely cancel within a CP (Fig. 7 dip).
+  double truncate_phase_begin = 0.55;
+  double truncate_phase_end = 0.70;
+  double small_file_fraction = 0.90;
+  std::size_t max_live_files = 8000;
+  std::uint64_t seed = 2003;
+};
+
+/// Deterministic EECS03-like trace (see header comment).
+Trace synthesize_eecs03_like(const TraceSynthOptions& options);
+
+/// Statistics the player reports per simulated hour (the x-axis of Fig. 7/8).
+struct TraceHourStats {
+  double hour = 0;
+  std::uint64_t block_ops = 0;       ///< adds + removes reaching the sink
+  std::uint64_t pages_written = 0;   ///< back-ref page writes in this hour
+  std::uint64_t cp_micros = 0;       ///< CP flush wall time in this hour
+  std::uint64_t cps = 0;
+  std::uint64_t db_bytes = 0;        ///< back-ref footprint at hour end
+  std::uint64_t data_bytes = 0;      ///< physical data at hour end
+};
+
+class TracePlayer {
+ public:
+  TracePlayer(FileSystem& fs, LineId line);
+
+  /// Replay the whole trace; returns per-hour stats. `on_hour`, if given, is
+  /// called after each simulated hour (Fig. 8 runs maintenance there).
+  std::vector<TraceHourStats> play(
+      const Trace& trace,
+      const std::function<void(std::uint64_t hour_index)>& on_hour = {});
+
+ private:
+  void apply(const TraceOp& op);
+
+  FileSystem& fs_;
+  LineId line_;
+  std::unordered_map<std::uint64_t, InodeNo> slots_;
+};
+
+}  // namespace backlog::fsim

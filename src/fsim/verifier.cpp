@@ -1,0 +1,84 @@
+#include "fsim/verifier.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace backlog::fsim {
+
+namespace {
+void add_image_refs(std::set<RefTuple>& out, const Image& img, core::LineId line,
+                    core::Epoch version) {
+  for (const auto& [inode, file] : img) {
+    for (std::uint64_t off = 0; off < file->blocks.size(); ++off) {
+      const core::BlockNo b = file->blocks[off];
+      if (b != 0) out.emplace(b, inode, off, line, version);
+    }
+  }
+}
+
+std::string render(const RefTuple& t) {
+  std::ostringstream os;
+  os << "block=" << std::get<0>(t) << " inode=" << std::get<1>(t)
+     << " off=" << std::get<2>(t) << " line=" << std::get<3>(t)
+     << " version=" << std::get<4>(t);
+  return os.str();
+}
+}  // namespace
+
+std::set<RefTuple> ground_truth_refs(const FileSystem& fs) {
+  std::set<RefTuple> out;
+  const core::SnapshotRegistry& reg = fs.registry();
+  for (const core::LineId line : reg.lines()) {
+    for (const auto& [version, img] : fs.snapshot_images(line)) {
+      add_image_refs(out, img, line, version);
+    }
+  }
+  for (const core::LineId line : fs.live_lines()) {
+    add_image_refs(out, fs.live_image(line), line, reg.current_cp());
+  }
+  return out;
+}
+
+std::set<RefTuple> database_refs(FileSystem& fs, std::uint64_t chunk_blocks) {
+  std::set<RefTuple> out;
+  core::BacklogDb& db = fs.db();
+  const std::uint64_t limit = fs.max_block();
+  for (core::BlockNo b = 0; b < limit; b += chunk_blocks) {
+    const std::uint64_t count = std::min<std::uint64_t>(chunk_blocks, limit - b);
+    for (const core::BackrefEntry& e : db.query(b, count)) {
+      for (std::uint64_t i = 0; i < e.rec.key.length; ++i) {
+        for (const core::Epoch v : e.versions) {
+          out.emplace(e.rec.key.block + i, e.rec.key.inode, e.rec.key.offset + i,
+                      e.rec.key.line, v);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+VerifyResult verify_backrefs(FileSystem& fs, std::size_t max_errors) {
+  VerifyResult r;
+  const std::set<RefTuple> truth = ground_truth_refs(fs);
+  const std::set<RefTuple> db = database_refs(fs);
+  r.ground_truth_refs = truth.size();
+  r.db_refs = db.size();
+
+  std::vector<RefTuple> missing, spurious;
+  std::set_difference(truth.begin(), truth.end(), db.begin(), db.end(),
+                      std::back_inserter(missing));
+  std::set_difference(db.begin(), db.end(), truth.begin(), truth.end(),
+                      std::back_inserter(spurious));
+  for (const RefTuple& t : missing) {
+    if (r.errors.size() >= max_errors) break;
+    r.errors.push_back("missing from db: " + render(t));
+  }
+  for (const RefTuple& t : spurious) {
+    if (r.errors.size() >= max_errors) break;
+    r.errors.push_back("spurious in db:  " + render(t));
+  }
+  r.ok = missing.empty() && spurious.empty();
+  return r;
+}
+
+}  // namespace backlog::fsim

@@ -1,0 +1,43 @@
+// Ground-truth verifier (§5): "a utility program that walks the entire file
+// system tree, reconstructs the back references, and then compares them with
+// the database produced by our algorithm."
+//
+// The ground truth is the set of (block, inode, offset, line, version)
+// tuples visible in any retained image: every snapshot image plus, for live
+// lines, the current CP's view. The database side is produced by masked,
+// inheritance-expanded queries over the whole block space. The two sets must
+// be identical.
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "fsim/fsim.hpp"
+
+namespace backlog::fsim {
+
+struct VerifyResult {
+  bool ok = false;
+  std::uint64_t ground_truth_refs = 0;
+  std::uint64_t db_refs = 0;
+  /// First few mismatches, rendered for test-failure messages.
+  std::vector<std::string> errors;
+};
+
+/// A single visible reference at a specific retained version.
+using RefTuple = std::tuple<core::BlockNo, core::InodeNo, std::uint64_t,
+                            core::LineId, core::Epoch>;
+
+/// Ground truth from the fsim images (no database involvement).
+std::set<RefTuple> ground_truth_refs(const FileSystem& fs);
+
+/// Database view: expanded + masked queries over [0, fs.max_block()).
+std::set<RefTuple> database_refs(FileSystem& fs, std::uint64_t chunk_blocks = 64);
+
+/// Full comparison; reports up to `max_errors` differences.
+VerifyResult verify_backrefs(FileSystem& fs, std::size_t max_errors = 10);
+
+}  // namespace backlog::fsim

@@ -1,0 +1,194 @@
+#include "fsim/workload.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace backlog::fsim {
+
+WorkloadGenerator::WorkloadGenerator(FileSystem& fs, LineId line,
+                                     WorkloadOptions options)
+    : fs_(fs), line_(line), options_(options), rng_(options.seed) {}
+
+void WorkloadGenerator::adopt_existing_files() {
+  files_ = fs_.list_files(line_);
+}
+
+std::uint64_t WorkloadGenerator::pick_file_size() {
+  if (rng_.chance(options_.small_file_fraction)) {
+    return rng_.between(options_.small_blocks_min, options_.small_blocks_max);
+  }
+  return rng_.between(options_.large_blocks_min, options_.large_blocks_max);
+}
+
+InodeNo WorkloadGenerator::pick_victim() {
+  const std::size_t i = static_cast<std::size_t>(rng_.below(files_.size()));
+  return files_[i];
+}
+
+std::uint64_t WorkloadGenerator::step() {
+  const std::uint64_t writes_before = fs_.stats().block_writes;
+
+  // Near the population cap, convert creates into deletes to stay bounded.
+  double w_create = options_.w_create;
+  double w_delete = options_.w_delete;
+  if (files_.size() >= options_.max_live_files) {
+    w_delete += w_create;
+    w_create = 0;
+  } else if (files_.empty()) {
+    w_create += w_delete;
+    w_delete = 0;
+  }
+  const std::vector<double> weights = {w_create, w_delete, options_.w_overwrite,
+                                       options_.w_append, options_.w_truncate};
+  switch (files_.empty() ? 0 : util::sample_discrete(rng_, weights)) {
+    case 0: {  // create
+      files_.push_back(fs_.create_file(line_, pick_file_size()));
+      break;
+    }
+    case 1: {  // delete
+      const std::size_t i = static_cast<std::size_t>(rng_.below(files_.size()));
+      fs_.delete_file(line_, files_[i]);
+      files_[i] = files_.back();
+      files_.pop_back();
+      break;
+    }
+    case 2: {  // overwrite a random range of an existing file
+      const InodeNo ino = pick_victim();
+      const std::uint64_t size = fs_.file_size_blocks(line_, ino);
+      if (size == 0) {
+        fs_.write_file(line_, ino, 0, 1);
+        break;
+      }
+      const std::uint64_t off = rng_.below(size);
+      const std::uint64_t cnt = 1 + rng_.below(std::min<std::uint64_t>(
+                                        size - off, 8));
+      fs_.write_file(line_, ino, off, cnt);
+      break;
+    }
+    case 3: {  // append
+      const InodeNo ino = pick_victim();
+      const std::uint64_t size = fs_.file_size_blocks(line_, ino);
+      fs_.write_file(line_, ino, size, 1 + rng_.below(4));
+      break;
+    }
+    case 4: {  // truncate (the setattr-heavy behaviour of §6.2.2)
+      const InodeNo ino = pick_victim();
+      const std::uint64_t size = fs_.file_size_blocks(line_, ino);
+      fs_.truncate_file(line_, ino, size / 2);
+      break;
+    }
+    default: break;
+  }
+  return fs_.stats().block_writes - writes_before;
+}
+
+void WorkloadGenerator::run_block_writes(std::uint64_t block_writes) {
+  const std::uint64_t target = fs_.stats().block_writes + block_writes;
+  while (fs_.stats().block_writes < target) step();
+}
+
+void SnapshotScheduler::on_cp(std::uint64_t cp_index) {
+  if (policy_.nightly_every_cps > 0 &&
+      cp_index % policy_.nightly_every_cps == 0) {
+    nightly_.push_back(fs_.take_snapshot(line_));
+    if (nightly_.size() > policy_.keep_nightly) {
+      fs_.delete_snapshot(line_, nightly_.front());
+      nightly_.erase(nightly_.begin());
+    }
+    return;  // a nightly CP also satisfies the hourly cadence
+  }
+  if (policy_.hourly_every_cps > 0 && cp_index % policy_.hourly_every_cps == 0) {
+    hourly_.push_back(fs_.take_snapshot(line_));
+    if (hourly_.size() > policy_.keep_hourly) {
+      fs_.delete_snapshot(line_, hourly_.front());
+      hourly_.erase(hourly_.begin());
+    }
+  }
+}
+
+CloneChurner::CloneChurner(FileSystem& fs, LineId parent_line, ClonePolicy policy,
+                           const WorkloadOptions& wl_options)
+    : fs_(fs),
+      parent_line_(parent_line),
+      policy_(policy),
+      wl_options_(wl_options),
+      rng_(policy.seed) {}
+
+void CloneChurner::on_cp(const std::vector<Epoch>& available_snapshots) {
+  if (!rng_.chance(policy_.clones_per_cp)) return;
+  if (clones_.size() >= policy_.max_live_clones) {
+    // Retire the oldest clone to make room (delete-clone path, §4.2.2).
+    LiveClone victim = std::move(clones_.front());
+    clones_.erase(clones_.begin());
+    fs_.delete_clone_head(victim.line);
+    if (clones_.size() >= policy_.max_live_clones) return;
+  }
+  if (available_snapshots.empty()) return;
+  const Epoch version =
+      available_snapshots[rng_.below(available_snapshots.size())];
+  const LineId clone = fs_.create_clone(parent_line_, version);
+  ++created_;
+  WorkloadOptions wl = wl_options_;
+  wl.seed = rng_.next();
+  auto gen = std::make_unique<WorkloadGenerator>(fs_, clone, wl);
+  gen->adopt_existing_files();
+  // Dirty the clone: overwrites of inherited blocks produce the To-override
+  // records that exercise structural inheritance.
+  gen->run_block_writes(policy_.clone_writes);
+  clones_.push_back({clone, std::move(gen)});
+}
+
+WorkloadOptions dbench_preset(std::uint64_t seed) {
+  // CIFS file service: mixed create/write/delete with medium files and a
+  // strong overwrite component.
+  WorkloadOptions w;
+  w.w_create = 0.25;
+  w.w_delete = 0.20;
+  w.w_overwrite = 0.35;
+  w.w_append = 0.15;
+  w.w_truncate = 0.05;
+  w.small_file_fraction = 0.70;
+  w.small_blocks_min = 1;
+  w.small_blocks_max = 16;
+  w.large_blocks_min = 32;
+  w.large_blocks_max = 128;
+  w.seed = seed;
+  return w;
+}
+
+WorkloadOptions varmail_preset(std::uint64_t seed) {
+  // Mail spool: many small files, append-heavy (delivery) with frequent
+  // deletes (mailbox cleanup) — FileBench /var/mail personality.
+  WorkloadOptions w;
+  w.w_create = 0.35;
+  w.w_delete = 0.30;
+  w.w_overwrite = 0.05;
+  w.w_append = 0.30;
+  w.w_truncate = 0.00;
+  w.small_file_fraction = 0.98;
+  w.small_blocks_min = 1;
+  w.small_blocks_max = 4;
+  w.large_blocks_min = 8;
+  w.large_blocks_max = 32;
+  w.seed = seed;
+  return w;
+}
+
+WorkloadOptions postmark_preset(std::uint64_t seed) {
+  // PostMark: small-file create/delete churn with short appends.
+  WorkloadOptions w;
+  w.w_create = 0.40;
+  w.w_delete = 0.38;
+  w.w_overwrite = 0.10;
+  w.w_append = 0.12;
+  w.w_truncate = 0.00;
+  w.small_file_fraction = 0.95;
+  w.small_blocks_min = 1;
+  w.small_blocks_max = 8;
+  w.large_blocks_min = 8;
+  w.large_blocks_max = 64;
+  w.seed = seed;
+  return w;
+}
+
+}  // namespace backlog::fsim

@@ -1,0 +1,148 @@
+// Stochastic workload generation (§6.2.1) and the snapshot/clone policies
+// the paper's synthetic experiments use: file create/delete/update rates
+// mirroring the EECS03 trace, 90% small files, four hourly + four nightly
+// snapshots, and roughly 7 writable-clone creations per 100 CPs.
+//
+// Also provides the three application-benchmark presets of Table 1
+// (dbench-like CIFS file service, FileBench varmail-like mail spool,
+// PostMark-like small-file churn) expressed as op-mix + file-size models on
+// the same simulator, so the Base / Original / Backlog configurations are
+// compared on identical work.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fsim/fsim.hpp"
+#include "util/random.hpp"
+
+namespace backlog::fsim {
+
+struct WorkloadOptions {
+  // Relative op-mix weights (normalized internally).
+  double w_create = 0.30;
+  double w_delete = 0.12;
+  double w_overwrite = 0.40;
+  double w_append = 0.10;
+  double w_truncate = 0.08;
+
+  // File-size model: 90% small files (§6.2.1, home-directory population).
+  double small_file_fraction = 0.90;
+  std::uint64_t small_blocks_min = 1, small_blocks_max = 8;
+  std::uint64_t large_blocks_min = 16, large_blocks_max = 256;
+
+  // Bound on the live-file population (delete pressure rises near it).
+  std::size_t max_live_files = 20000;
+
+  std::uint64_t seed = 1234;
+};
+
+/// Issues file-level operations against the live head of one line.
+class WorkloadGenerator {
+ public:
+  WorkloadGenerator(FileSystem& fs, LineId line, WorkloadOptions options);
+
+  /// Perform one file-level operation (create/delete/overwrite/append/
+  /// truncate). Returns the number of block writes it issued.
+  std::uint64_t step();
+
+  /// Issue operations until at least `block_writes` pointer writes occurred.
+  void run_block_writes(std::uint64_t block_writes);
+
+  [[nodiscard]] std::size_t live_files() const noexcept { return files_.size(); }
+  [[nodiscard]] LineId line() const noexcept { return line_; }
+
+  /// Adopt the current population of `line` (used after cloning: the new
+  /// line starts with the parent's files).
+  void adopt_existing_files();
+
+ private:
+  std::uint64_t pick_file_size();
+  InodeNo pick_victim();
+
+  FileSystem& fs_;
+  LineId line_;
+  WorkloadOptions options_;
+  util::Rng rng_;
+  std::vector<InodeNo> files_;  // sampled uniformly; O(1) removal by swap
+};
+
+/// The paper's snapshot retention: promote CPs to "hourly" and "nightly"
+/// snapshots and keep four of each (§6.1), expressed in CP counts so the
+/// experiments scale.
+struct SnapshotPolicy {
+  std::uint64_t hourly_every_cps = 6;
+  std::size_t keep_hourly = 4;
+  std::uint64_t nightly_every_cps = 48;
+  std::size_t keep_nightly = 4;
+};
+
+class SnapshotScheduler {
+ public:
+  SnapshotScheduler(FileSystem& fs, LineId line, SnapshotPolicy policy)
+      : fs_(fs), line_(line), policy_(policy) {}
+
+  /// Call once per completed CP (pass the running CP index from 1).
+  void on_cp(std::uint64_t cp_index);
+
+  [[nodiscard]] const std::vector<Epoch>& hourly() const noexcept {
+    return hourly_;
+  }
+  [[nodiscard]] const std::vector<Epoch>& nightly() const noexcept {
+    return nightly_;
+  }
+
+ private:
+  FileSystem& fs_;
+  LineId line_;
+  SnapshotPolicy policy_;
+  std::vector<Epoch> hourly_;
+  std::vector<Epoch> nightly_;
+};
+
+/// Clone churn at the paper's pessimistic rate (~7 clones / 100 CPs, with
+/// clone deletion keeping the population bounded).
+struct ClonePolicy {
+  double clones_per_cp = 0.07;
+  std::size_t max_live_clones = 4;
+  /// Block writes issued into a fresh clone before it may be deleted
+  /// (exercises structural-inheritance overrides).
+  std::uint64_t clone_writes = 64;
+  std::uint64_t seed = 99;
+};
+
+class CloneChurner {
+ public:
+  CloneChurner(FileSystem& fs, LineId parent_line, ClonePolicy policy,
+               const WorkloadOptions& wl_options);
+
+  /// Call once per completed CP: may create a clone (of the most recent
+  /// snapshot), write into clones, or delete the oldest clone.
+  void on_cp(const std::vector<Epoch>& available_snapshots);
+
+  [[nodiscard]] std::size_t live_clones() const noexcept { return clones_.size(); }
+  [[nodiscard]] std::uint64_t clones_created() const noexcept { return created_; }
+
+ private:
+  struct LiveClone {
+    LineId line;
+    std::unique_ptr<WorkloadGenerator> gen;
+  };
+
+  FileSystem& fs_;
+  LineId parent_line_;
+  ClonePolicy policy_;
+  WorkloadOptions wl_options_;
+  util::Rng rng_;
+  std::vector<LiveClone> clones_;
+  std::uint64_t created_ = 0;
+};
+
+/// Table 1 application presets: the op mix and file-size model approximating
+/// each benchmark's behaviour at the block-operation level.
+WorkloadOptions dbench_preset(std::uint64_t seed);    ///< CIFS file service
+WorkloadOptions varmail_preset(std::uint64_t seed);   ///< /var/mail spool
+WorkloadOptions postmark_preset(std::uint64_t seed);  ///< small-file churn
+
+}  // namespace backlog::fsim

@@ -1,0 +1,107 @@
+#include "lsm/column_codec.hpp"
+
+#include <stdexcept>
+
+#include "util/crc32c.hpp"
+#include "util/serde.hpp"
+
+namespace backlog::lsm {
+
+namespace {
+constexpr std::uint64_t kMagic = 0x424b434f4c435a31ULL;  // "BKCOLZ1"
+}
+
+void put_varint(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  while (v >= 0x80) {
+    out.push_back(static_cast<std::uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  out.push_back(static_cast<std::uint8_t>(v));
+}
+
+std::uint64_t get_varint(std::span<const std::uint8_t> in, std::size_t* pos) {
+  std::uint64_t v = 0;
+  int shift = 0;
+  while (true) {
+    if (*pos >= in.size()) throw std::runtime_error("varint: truncated");
+    const std::uint8_t byte = in[(*pos)++];
+    if (shift >= 63 && (byte & 0x7e) != 0)
+      throw std::runtime_error("varint: overflow");
+    v |= static_cast<std::uint64_t>(byte & 0x7f) << shift;
+    if ((byte & 0x80) == 0) return v;
+    shift += 7;
+  }
+}
+
+std::vector<std::uint8_t> compress_columns(std::span<const std::uint8_t> records,
+                                           std::size_t record_size) {
+  if (record_size == 0 || record_size % 8 != 0)
+    throw std::invalid_argument("compress_columns: record_size must be 8k");
+  if (records.size() % record_size != 0)
+    throw std::invalid_argument("compress_columns: partial record");
+  const std::size_t n = records.size() / record_size;
+  const std::size_t columns = record_size / 8;
+
+  std::vector<std::uint8_t> out;
+  util::append_u64(out, kMagic);
+  util::append_u64(out, n);
+  util::append_u64(out, record_size);
+
+  std::vector<std::uint8_t> col;
+  for (std::size_t c = 0; c < columns; ++c) {
+    col.clear();
+    std::uint64_t prev = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::uint64_t v =
+          util::get_be64(records.data() + i * record_size + c * 8);
+      put_varint(col, zigzag_encode(static_cast<std::int64_t>(v - prev)));
+      prev = v;
+    }
+    util::append_u64(out, col.size());
+    out.insert(out.end(), col.begin(), col.end());
+  }
+  util::append_u32(out, util::crc32c(out.data(), out.size()));
+  return out;
+}
+
+std::vector<std::uint8_t> decompress_columns(std::span<const std::uint8_t> blob,
+                                             std::size_t* record_size_out) {
+  if (blob.size() < 28) throw std::runtime_error("column blob: truncated");
+  const std::uint32_t want = util::get_u32(blob.data() + blob.size() - 4);
+  if (util::crc32c(blob.data(), blob.size() - 4) != want)
+    throw std::runtime_error("column blob: checksum mismatch");
+  std::size_t pos = 0;
+  auto read_u64 = [&]() {
+    if (pos + 8 > blob.size()) throw std::runtime_error("column blob: truncated");
+    const std::uint64_t v = util::get_u64(blob.data() + pos);
+    pos += 8;
+    return v;
+  };
+  if (read_u64() != kMagic) throw std::runtime_error("column blob: bad magic");
+  const std::uint64_t n = read_u64();
+  const std::uint64_t record_size = read_u64();
+  if (record_size == 0 || record_size % 8 != 0)
+    throw std::runtime_error("column blob: bad record size");
+  const std::size_t columns = record_size / 8;
+
+  std::vector<std::uint8_t> out(n * record_size);
+  for (std::size_t c = 0; c < columns; ++c) {
+    const std::uint64_t col_bytes = read_u64();
+    if (pos + col_bytes > blob.size() - 4)
+      throw std::runtime_error("column blob: truncated column");
+    const std::span<const std::uint8_t> col(blob.data() + pos, col_bytes);
+    std::size_t cpos = 0;
+    std::uint64_t prev = 0;
+    for (std::uint64_t i = 0; i < n; ++i) {
+      prev += static_cast<std::uint64_t>(zigzag_decode(get_varint(col, &cpos)));
+      util::put_be64(out.data() + i * record_size + c * 8, prev);
+    }
+    if (cpos != col_bytes)
+      throw std::runtime_error("column blob: trailing column bytes");
+    pos += col_bytes;
+  }
+  if (record_size_out != nullptr) *record_size_out = record_size;
+  return out;
+}
+
+}  // namespace backlog::lsm

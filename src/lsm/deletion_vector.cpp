@@ -1,0 +1,71 @@
+#include "lsm/deletion_vector.hpp"
+
+#include <stdexcept>
+
+#include "util/serde.hpp"
+
+namespace backlog::lsm {
+
+void DeletionVector::insert(std::span<const std::uint8_t> record) {
+  if (record.size() != record_size_)
+    throw std::invalid_argument("DeletionVector: wrong record size");
+  entries_.emplace(record.begin(), record.end());
+}
+
+bool DeletionVector::contains(std::span<const std::uint8_t> record) const {
+  if (entries_.empty()) return false;
+  // Heterogeneous lookup without allocating: std::set<vector> requires a
+  // key; the vector here is small (one record) and only built when the
+  // vector is non-empty, which is rare in normal operation.
+  std::vector<std::uint8_t> key(record.begin(), record.end());
+  return entries_.contains(key);
+}
+
+bool DeletionVector::erase(std::span<const std::uint8_t> record) {
+  std::vector<std::uint8_t> key(record.begin(), record.end());
+  return entries_.erase(key) > 0;
+}
+
+std::size_t DeletionVector::erase_block_range(std::uint64_t block_lo,
+                                              std::uint64_t block_hi) {
+  std::vector<std::uint8_t> lo_key(record_size_, 0);
+  util::put_be64(lo_key.data(), block_lo);
+  std::size_t removed = 0;
+  for (auto it = entries_.lower_bound(lo_key); it != entries_.end();) {
+    if (util::get_be64(it->data()) >= block_hi) break;
+    it = entries_.erase(it);
+    ++removed;
+  }
+  return removed;
+}
+
+void DeletionVector::save(storage::Env& env, const std::string& file_name) const {
+  std::vector<std::uint8_t> out;
+  util::append_u64(out, entries_.size());
+  util::append_u64(out, record_size_);
+  for (const auto& e : entries_) out.insert(out.end(), e.begin(), e.end());
+  auto file = env.create_file(file_name);
+  file->append(out);
+  file->sync();
+}
+
+void DeletionVector::load(storage::Env& env, const std::string& file_name) {
+  entries_.clear();
+  if (!env.file_exists(file_name)) return;
+  auto file = env.open_file(file_name);
+  std::vector<std::uint8_t> buf(file->size());
+  if (buf.size() < 16) return;
+  file->read(0, buf);
+  const std::uint64_t count = util::get_u64(buf.data());
+  const std::uint64_t rec_size = util::get_u64(buf.data() + 8);
+  if (rec_size != record_size_)
+    throw std::runtime_error("DeletionVector: record size mismatch on load");
+  if (buf.size() < 16 + count * rec_size)
+    throw std::runtime_error("DeletionVector: truncated file");
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const std::uint8_t* p = buf.data() + 16 + i * rec_size;
+    entries_.emplace(p, p + rec_size);
+  }
+}
+
+}  // namespace backlog::lsm

@@ -1,0 +1,54 @@
+#include "storage/page_cache.hpp"
+
+#include "util/hash.hpp"
+
+namespace backlog::storage {
+
+std::size_t PageCache::KeyHash::operator()(const Key& k) const noexcept {
+  return static_cast<std::size_t>(
+      util::hash_u64(k.file_id * 0x100000001b3ULL ^ k.page_no));
+}
+
+PageCache::PageCache(std::size_t capacity_pages) : capacity_(capacity_pages) {}
+
+std::shared_ptr<const PageBuffer> PageCache::get(const RandomAccessFile& file,
+                                                 std::uint64_t page_no) {
+  const Key key{file.id(), page_no};
+  if (capacity_ > 0) {
+    if (auto it = map_.find(key); it != map_.end()) {
+      ++hits_;
+      lru_.splice(lru_.begin(), lru_, it->second);
+      return it->second->page;
+    }
+  }
+  ++misses_;
+  auto buf = std::make_shared<PageBuffer>();
+  file.read_page(page_no, std::span<std::uint8_t>(buf->data(), buf->size()));
+  if (capacity_ == 0) return buf;
+
+  lru_.push_front(Entry{key, buf});
+  map_.emplace(key, lru_.begin());
+  while (map_.size() > capacity_) {
+    map_.erase(lru_.back().key);
+    lru_.pop_back();
+  }
+  return buf;
+}
+
+void PageCache::clear() {
+  lru_.clear();
+  map_.clear();
+}
+
+void PageCache::erase_file(std::uint64_t file_id) {
+  for (auto it = lru_.begin(); it != lru_.end();) {
+    if (it->key.file_id == file_id) {
+      map_.erase(it->key);
+      it = lru_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+}  // namespace backlog::storage

@@ -1,0 +1,71 @@
+// Read-only LRU page cache shared by read-store run files.
+//
+// The paper's query experiments use a 32 MB cache (§6.1) and explicitly clear
+// it before each query batch to measure worst-case cold performance; clear()
+// supports that. Reads that hit the cache cost no IoStats page_reads, so the
+// "I/O reads per query" series of Fig. 9 falls out of the accounting.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <span>
+#include <unordered_map>
+
+#include "storage/env.hpp"
+
+namespace backlog::storage {
+
+/// One cached 4 KB page.
+using PageBuffer = std::array<std::uint8_t, kPageSize>;
+
+class PageCache {
+ public:
+  /// `capacity_pages` = 0 disables caching entirely (every read is a miss).
+  explicit PageCache(std::size_t capacity_pages);
+
+  PageCache(const PageCache&) = delete;
+  PageCache& operator=(const PageCache&) = delete;
+
+  /// Fetch page `page_no` of `file`, reading through on miss. The returned
+  /// shared_ptr stays valid even if the entry is evicted afterwards.
+  std::shared_ptr<const PageBuffer> get(const RandomAccessFile& file,
+                                        std::uint64_t page_no);
+
+  /// Drop everything (cold-cache query experiments).
+  void clear();
+
+  /// Drop all pages of one file (called when a run file is deleted after
+  /// compaction so stale ids cannot alias a recycled file id).
+  void erase_file(std::uint64_t file_id);
+
+  [[nodiscard]] std::size_t size() const noexcept { return map_.size(); }
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  [[nodiscard]] std::uint64_t hits() const noexcept { return hits_; }
+  [[nodiscard]] std::uint64_t misses() const noexcept { return misses_; }
+
+ private:
+  struct Key {
+    std::uint64_t file_id;
+    std::uint64_t page_no;
+    bool operator==(const Key&) const = default;
+  };
+  struct KeyHash {
+    std::size_t operator()(const Key& k) const noexcept;
+  };
+  struct Entry {
+    Key key;
+    std::shared_ptr<const PageBuffer> page;
+  };
+
+  using LruList = std::list<Entry>;
+
+  std::size_t capacity_;
+  LruList lru_;  // front = most recent
+  std::unordered_map<Key, LruList::iterator, KeyHash> map_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+}  // namespace backlog::storage

@@ -1,0 +1,107 @@
+#include "util/bloom.hpp"
+
+#include <bit>
+#include <cmath>
+#include <cstring>
+#include <stdexcept>
+
+#include "util/hash.hpp"
+
+namespace backlog::util {
+
+namespace {
+constexpr std::size_t kMinBits = 64;
+
+std::size_t round_up_pow2(std::size_t x) {
+  if (x <= kMinBits) return kMinBits;
+  return std::bit_ceil(x);
+}
+}  // namespace
+
+BloomFilter::BloomFilter(std::size_t bits) {
+  const std::size_t n = round_up_pow2(bits);
+  bits_.assign(n / 64, 0);
+  mask_ = n - 1;
+}
+
+BloomFilter BloomFilter::sized_for(std::size_t expected_keys,
+                                   std::size_t max_bytes) {
+  std::size_t want_bits = expected_keys * 8;
+  std::size_t cap_bits = max_bytes * 8;
+  if (want_bits > cap_bits) want_bits = cap_bits;
+  return BloomFilter(want_bits);
+}
+
+void BloomFilter::insert(std::uint64_t key) noexcept {
+  if (bits_.empty()) return;
+  const std::uint64_t h1 = hash_u64(key, 0x71ee2e1cULL);
+  const std::uint64_t h2 = hash_u64(key, 0x5bd1e995ULL) | 1;  // odd stride
+  std::uint64_t h = h1;
+  for (int i = 0; i < kNumHashes; ++i) {
+    const std::uint64_t bit = h & mask_;
+    bits_[bit >> 6] |= (1ULL << (bit & 63));
+    h += h2;
+  }
+}
+
+bool BloomFilter::may_contain(std::uint64_t key) const noexcept {
+  if (bits_.empty()) return false;
+  const std::uint64_t h1 = hash_u64(key, 0x71ee2e1cULL);
+  const std::uint64_t h2 = hash_u64(key, 0x5bd1e995ULL) | 1;
+  std::uint64_t h = h1;
+  for (int i = 0; i < kNumHashes; ++i) {
+    const std::uint64_t bit = h & mask_;
+    if ((bits_[bit >> 6] & (1ULL << (bit & 63))) == 0) return false;
+    h += h2;
+  }
+  return true;
+}
+
+void BloomFilter::halve() {
+  if (bit_count() <= kMinBits) return;
+  const std::size_t half_words = bits_.size() / 2;
+  for (std::size_t i = 0; i < half_words; ++i) bits_[i] |= bits_[i + half_words];
+  bits_.resize(half_words);
+  mask_ = bit_count() - 1;
+}
+
+void BloomFilter::shrink_to_fit(std::size_t actual_keys) {
+  const std::size_t target = round_up_pow2(actual_keys * 8);
+  while (bit_count() > target && bit_count() > kMinBits) halve();
+}
+
+double BloomFilter::expected_fpr(std::size_t n) const noexcept {
+  if (bits_.empty()) return 0.0;
+  const double m = static_cast<double>(bit_count());
+  const double k = kNumHashes;
+  const double p = 1.0 - std::exp(-k * static_cast<double>(n) / m);
+  return std::pow(p, k);
+}
+
+void BloomFilter::serialize(std::vector<std::uint8_t>& out) const {
+  const std::uint64_t words = bits_.size();
+  const std::size_t base = out.size();
+  out.resize(base + 8 + words * 8);
+  std::memcpy(out.data() + base, &words, 8);
+  if (words > 0) std::memcpy(out.data() + base + 8, bits_.data(), words * 8);
+}
+
+BloomFilter BloomFilter::deserialize(std::span<const std::uint8_t> in,
+                                     std::size_t* consumed) {
+  if (in.size() < 8) throw std::runtime_error("bloom: truncated header");
+  std::uint64_t words = 0;
+  std::memcpy(&words, in.data(), 8);
+  if (in.size() < 8 + words * 8) throw std::runtime_error("bloom: truncated body");
+  if (words != 0 && !std::has_single_bit(words))
+    throw std::runtime_error("bloom: corrupt word count");
+  BloomFilter f;
+  f.bits_.resize(words);
+  if (words > 0) {
+    std::memcpy(f.bits_.data(), in.data() + 8, words * 8);
+    f.mask_ = f.bit_count() - 1;
+  }
+  if (consumed != nullptr) *consumed = 8 + words * 8;
+  return f;
+}
+
+}  // namespace backlog::util

@@ -1,0 +1,65 @@
+// Bloom filter with the properties the paper relies on (§5.1):
+//  * four hash functions (derived from two base hashes, Kirsch-Mitzenmacher),
+//  * power-of-two bit count so the filter can be *halved* in linear time
+//    (Broder & Mitzenmacher) to fit the actual number of records in a run,
+//  * compact serialization appended to read-store run files.
+//
+// The default sizing mirrors the paper: 32 KB of bits for 32,000 operations
+// per consistency point (~2.4% expected false-positive rate), expandable to
+// 1 MB for the Combined read store.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace backlog::util {
+
+class BloomFilter {
+ public:
+  static constexpr int kNumHashes = 4;
+
+  /// An empty (always-negative) filter.
+  BloomFilter() = default;
+
+  /// Create a filter with `bits` bits; `bits` is rounded up to a power of
+  /// two (required for cheap halving) and to at least 64.
+  explicit BloomFilter(std::size_t bits);
+
+  /// Paper sizing rule: 8 bits of filter per expected key, clamped to
+  /// [64 bits, max_bytes*8]. 32,000 keys -> 32 KB (the WAFL setting).
+  static BloomFilter sized_for(std::size_t expected_keys,
+                               std::size_t max_bytes = 32 * 1024);
+
+  void insert(std::uint64_t key) noexcept;
+  [[nodiscard]] bool may_contain(std::uint64_t key) const noexcept;
+
+  /// Halve the filter in linear time by OR-folding the upper half onto the
+  /// lower half. Membership is preserved; FPR rises. No-op below 64 bits.
+  void halve();
+
+  /// Shrink by repeated halving until the filter is the smallest power of
+  /// two that still gives ~8 bits/key for `actual_keys` (paper: runs smaller
+  /// than the max op count get proportionally smaller filters).
+  void shrink_to_fit(std::size_t actual_keys);
+
+  [[nodiscard]] std::size_t bit_count() const noexcept { return bits_.size() * 64; }
+  [[nodiscard]] std::size_t byte_size() const noexcept { return bits_.size() * 8; }
+  [[nodiscard]] bool empty() const noexcept { return bits_.empty(); }
+
+  /// Expected false positive rate for `n` inserted keys given current size.
+  [[nodiscard]] double expected_fpr(std::size_t n) const noexcept;
+
+  /// Serialization: [u64 word_count][words...]. Returns bytes appended.
+  void serialize(std::vector<std::uint8_t>& out) const;
+  static BloomFilter deserialize(std::span<const std::uint8_t> in,
+                                 std::size_t* consumed = nullptr);
+
+ private:
+  // 64-bit words; word count is always zero or a power of two.
+  std::vector<std::uint64_t> bits_;
+  std::uint64_t mask_ = 0;  // bit_count-1 when non-empty
+};
+
+}  // namespace backlog::util

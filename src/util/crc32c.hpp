@@ -1,0 +1,16 @@
+// CRC32-C (Castagnoli) used to checksum on-disk pages (run-file headers,
+// B+-tree pages, manifests). Software table-driven implementation; this repo
+// must build on any host, so no SSE4.2 intrinsics.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace backlog::util {
+
+/// CRC32-C of `len` bytes, chained from `seed` (pass a previous result to
+/// checksum discontiguous regions).
+std::uint32_t crc32c(const void* data, std::size_t len,
+                     std::uint32_t seed = 0) noexcept;
+
+}  // namespace backlog::util

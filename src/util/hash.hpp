@@ -1,0 +1,34 @@
+// 64-bit mixing and string hashing used by Bloom filters and page checksums.
+//
+// The hash family here is a self-contained xxHash64-style construction; it is
+// deterministic across platforms so that on-disk Bloom filters written by one
+// build can be read by another.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace backlog::util {
+
+/// Strong 64-bit finalizer (splitmix64). Good avalanche behaviour; used to
+/// derive the k Bloom hash functions from two base hashes.
+constexpr std::uint64_t mix64(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Hash an arbitrary byte range with a seed. xxHash64-flavoured; stable
+/// across platforms and builds (used in on-disk formats).
+std::uint64_t hash_bytes(const void* data, std::size_t len,
+                         std::uint64_t seed = 0) noexcept;
+
+/// Hash a single 64-bit key (fast path used for Bloom filter membership of
+/// physical block numbers).
+constexpr std::uint64_t hash_u64(std::uint64_t key,
+                                 std::uint64_t seed = 0) noexcept {
+  return mix64(key ^ mix64(seed));
+}
+
+}  // namespace backlog::util

@@ -1,0 +1,68 @@
+// Little-endian fixed-width encode/decode helpers for on-disk structures.
+// All Backlog on-disk formats are little-endian; a static_assert in
+// storage/env.cpp rejects big-endian hosts at build time.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace backlog::util {
+
+inline void put_u16(std::uint8_t* dst, std::uint16_t v) noexcept {
+  std::memcpy(dst, &v, sizeof v);
+}
+inline void put_u32(std::uint8_t* dst, std::uint32_t v) noexcept {
+  std::memcpy(dst, &v, sizeof v);
+}
+inline void put_u64(std::uint8_t* dst, std::uint64_t v) noexcept {
+  std::memcpy(dst, &v, sizeof v);
+}
+
+inline std::uint16_t get_u16(const std::uint8_t* src) noexcept {
+  std::uint16_t v;
+  std::memcpy(&v, src, sizeof v);
+  return v;
+}
+inline std::uint32_t get_u32(const std::uint8_t* src) noexcept {
+  std::uint32_t v;
+  std::memcpy(&v, src, sizeof v);
+  return v;
+}
+inline std::uint64_t get_u64(const std::uint8_t* src) noexcept {
+  std::uint64_t v;
+  std::memcpy(&v, src, sizeof v);
+  return v;
+}
+
+/// Big-endian encoding: memcmp order over the bytes equals numeric order.
+/// Used for B+-tree keys (the tree compares keys with memcmp).
+inline void put_be64(std::uint8_t* dst, std::uint64_t v) noexcept {
+  for (int i = 7; i >= 0; --i) {
+    dst[i] = static_cast<std::uint8_t>(v & 0xff);
+    v >>= 8;
+  }
+}
+inline std::uint64_t get_be64(const std::uint8_t* src) noexcept {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v = (v << 8) | src[i];
+  return v;
+}
+
+inline void append_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  const std::size_t n = out.size();
+  out.resize(n + 4);
+  put_u32(out.data() + n, v);
+}
+inline void append_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  const std::size_t n = out.size();
+  out.resize(n + 8);
+  put_u64(out.data() + n, v);
+}
+inline void append_string(std::vector<std::uint8_t>& out, const std::string& s) {
+  append_u32(out, static_cast<std::uint32_t>(s.size()));
+  out.insert(out.end(), s.begin(), s.end());
+}
+
+}  // namespace backlog::util

@@ -1,0 +1,235 @@
+// Randomized end-to-end property tests: after arbitrary op sequences the
+// Backlog database and the file-system ground truth must agree exactly
+// (invariant #1 of DESIGN.md), across CPs, snapshots, clones, dedup,
+// maintenance, relocation and crash recovery.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "fsim/fsim.hpp"
+#include "fsim/verifier.hpp"
+#include "fsim/workload.hpp"
+#include "storage/env.hpp"
+#include "util/random.hpp"
+
+namespace bf = backlog::fsim;
+namespace bc = backlog::core;
+namespace bs = backlog::storage;
+namespace bu = backlog::util;
+
+namespace {
+
+struct ChaosParams {
+  std::uint64_t seed;
+  bool dedup;
+  bool clones;
+  std::uint64_t maintain_every_cps;  // 0 = never
+  std::uint64_t partition_blocks;
+};
+
+void PrintTo(const ChaosParams& p, std::ostream* os) {
+  *os << "seed" << p.seed << (p.dedup ? "_dedup" : "")
+      << (p.clones ? "_clones" : "") << "_m" << p.maintain_every_cps << "_p"
+      << p.partition_blocks;
+}
+
+class ChaosVerify : public ::testing::TestWithParam<ChaosParams> {};
+
+}  // namespace
+
+INSTANTIATE_TEST_SUITE_P(
+    Seeds, ChaosVerify,
+    ::testing::Values(ChaosParams{1, false, false, 0, 1ull << 20},
+                      ChaosParams{2, true, false, 0, 1ull << 20},
+                      ChaosParams{3, true, true, 0, 1ull << 20},
+                      ChaosParams{4, true, true, 5, 1ull << 20},
+                      ChaosParams{5, true, true, 3, 256},
+                      ChaosParams{6, false, true, 4, 64},
+                      ChaosParams{7, true, false, 2, 1ull << 20},
+                      ChaosParams{8, true, true, 7, 128}));
+
+TEST_P(ChaosVerify, DbMatchesGroundTruthThroughChaos) {
+  const ChaosParams p = GetParam();
+  bs::TempDir dir;
+  bs::Env env(dir.path());
+  bf::FsimOptions fo;
+  fo.ops_per_cp = 1000000;  // explicit CPs
+  fo.dedup_fraction = p.dedup ? 0.15 : 0.0;
+  fo.rng_seed = p.seed * 1000 + 17;
+  bc::BacklogOptions bo;
+  bo.partition_blocks = p.partition_blocks;
+  bf::FileSystem fs(env, fo, bo);
+
+  bu::Rng rng(p.seed);
+  std::vector<bf::InodeNo> files;
+  std::vector<bc::Epoch> snaps;
+  std::vector<bf::LineId> clones;
+
+  const int cps = 12;
+  for (int cp = 0; cp < cps; ++cp) {
+    const int ops = 1 + static_cast<int>(rng.below(30));
+    for (int i = 0; i < ops; ++i) {
+      const auto kind = rng.below(10);
+      if (kind < 4 || files.empty()) {
+        files.push_back(fs.create_file(0, 1 + rng.below(6)));
+      } else if (kind < 7) {
+        const auto ino = files[rng.below(files.size())];
+        const auto size = fs.file_size_blocks(0, ino);
+        if (size > 0) fs.write_file(0, ino, rng.below(size), 1 + rng.below(3));
+      } else if (kind < 8) {
+        const auto ino = files[rng.below(files.size())];
+        fs.truncate_file(0, ino, fs.file_size_blocks(0, ino) / 2);
+      } else {
+        const std::size_t i2 = rng.below(files.size());
+        fs.delete_file(0, files[i2]);
+        files.erase(files.begin() + static_cast<std::ptrdiff_t>(i2));
+      }
+    }
+    // Snapshot / clone churn.
+    if (rng.chance(0.5)) {
+      snaps.push_back(fs.take_snapshot(0));
+      if (snaps.size() > 3) {
+        const std::size_t victim = rng.below(snaps.size() - 1);
+        fs.delete_snapshot(0, snaps[victim]);
+        snaps.erase(snaps.begin() + static_cast<std::ptrdiff_t>(victim));
+      }
+    }
+    if (p.clones && !snaps.empty() && rng.chance(0.4)) {
+      const auto clone = fs.create_clone(0, snaps[rng.below(snaps.size())]);
+      clones.push_back(clone);
+      // Dirty the clone so overrides appear.
+      for (const auto ino : fs.list_files(clone)) {
+        if (rng.chance(0.5) && fs.file_size_blocks(clone, ino) > 0) {
+          fs.write_file(clone, ino, 0, 1);
+        }
+      }
+      if (clones.size() > 2) {
+        fs.delete_clone_head(clones.front());
+        clones.erase(clones.begin());
+      }
+    }
+    fs.consistency_point();
+    if (p.maintain_every_cps > 0 &&
+        (cp + 1) % static_cast<int>(p.maintain_every_cps) == 0) {
+      fs.db().maintain();
+    }
+    // Verify at several points, not only at the end.
+    if (cp == cps / 2 || cp == cps - 1) {
+      const auto result = bf::verify_backrefs(fs);
+      ASSERT_TRUE(result.ok)
+          << "cp=" << cp << " refs=" << result.ground_truth_refs << " vs "
+          << result.db_refs
+          << (result.errors.empty() ? "" : "\n  " + result.errors[0]);
+    }
+  }
+}
+
+TEST(Integration, CrashRecoveryReplaysJournal) {
+  bs::TempDir dir;
+  auto env = std::make_unique<bs::Env>(dir.path());
+  bf::FsimOptions fo;
+  fo.ops_per_cp = 1000000;
+  fo.dedup_fraction = 0.1;
+
+  // Phase 1: durable history + some un-checkpointed tail ops.
+  std::deque<bf::JournalOp> tail;
+  {
+    bf::FileSystem fs(*env, fo);
+    bf::WorkloadGenerator gen(fs, 0, bf::WorkloadOptions{});
+    gen.run_block_writes(500);
+    fs.take_snapshot(0);
+    fs.consistency_point();
+    gen.run_block_writes(200);  // these live only in WS + journal
+    tail = fs.journal();
+    // "Crash": destroy the FileSystem without a CP. The BacklogDb write
+    // store evaporates; the manifest still describes the last CP.
+  }
+
+  // Phase 2: recover — reopen the db, replay the journal, compare.
+  env = std::make_unique<bs::Env>(dir.path());
+  bc::BacklogDb db(*env);
+  const auto before_replay = db.scan_all();
+  bf::BacklogSink sink(db);
+  for (const auto& op : tail) {
+    if (op.add) {
+      sink.add_reference(op.key);
+    } else {
+      sink.remove_reference(op.key);
+    }
+  }
+  db.consistency_point();
+  const auto after_replay = db.scan_all();
+  EXPECT_GT(after_replay.size(), before_replay.size());
+
+  // Control: the same run without a crash produces identical records.
+  bs::TempDir dir2;
+  bs::Env env2(dir2.path());
+  {
+    bf::FileSystem fs(env2, fo);
+    bf::WorkloadGenerator gen(fs, 0, bf::WorkloadOptions{});
+    gen.run_block_writes(500);
+    fs.take_snapshot(0);
+    fs.consistency_point();
+    gen.run_block_writes(200);
+    fs.consistency_point();
+    EXPECT_EQ(fs.db().scan_all(), after_replay);
+  }
+}
+
+TEST(Integration, MaintenanceIsIdempotentOnQueries) {
+  bs::TempDir dir;
+  bs::Env env(dir.path());
+  bf::FsimOptions fo;
+  fo.ops_per_cp = 1000000;
+  fo.dedup_fraction = 0.2;
+  bf::FileSystem fs(env, fo);
+  bf::WorkloadGenerator gen(fs, 0, bf::WorkloadOptions{});
+  for (int cp = 0; cp < 6; ++cp) {
+    gen.run_block_writes(300);
+    if (cp % 2 == 0) fs.take_snapshot(0);
+    fs.consistency_point();
+  }
+  ASSERT_TRUE(bf::verify_backrefs(fs).ok);
+  fs.db().maintain();
+  ASSERT_TRUE(bf::verify_backrefs(fs).ok);
+  fs.db().maintain();  // second pass over already-compacted state
+  ASSERT_TRUE(bf::verify_backrefs(fs).ok);
+}
+
+TEST(Integration, VolumeShrinkScenario) {
+  // The paper's bulk-migration use case (§3): evacuate the top half of the
+  // block space using back-reference queries, then verify full consistency.
+  bs::TempDir dir;
+  bs::Env env(dir.path());
+  bf::FsimOptions fo;
+  fo.ops_per_cp = 1000000;
+  fo.dedup_fraction = 0.1;
+  bf::FileSystem fs(env, fo);
+  bf::WorkloadGenerator gen(fs, 0, bf::WorkloadOptions{});
+  gen.run_block_writes(400);
+  fs.take_snapshot(0);
+  fs.consistency_point();
+  gen.run_block_writes(200);
+  fs.consistency_point();
+
+  const bf::BlockNo limit = fs.max_block();
+  const bf::BlockNo cut = limit / 2;
+  std::uint64_t moved = 0;
+  // Walk the evacuation region; relocate every allocated block to new space
+  // beyond the original high-water mark.
+  for (bf::BlockNo b = cut; b < limit; ++b) {
+    if (!fs.block_allocated(b)) continue;
+    const bf::BlockNo target = limit + 1000 + moved;  // fresh space
+    fs.relocate_extent(b, 1, target);
+    ++moved;
+  }
+  ASSERT_GT(moved, 0u);
+  fs.consistency_point();
+  for (bf::BlockNo b = cut; b < cut + 100; ++b) {
+    EXPECT_TRUE(fs.db().query(b).empty());
+  }
+  const auto result = bf::verify_backrefs(fs);
+  EXPECT_TRUE(result.ok) << (result.errors.empty() ? "" : result.errors[0]);
+  fs.db().maintain();
+  EXPECT_TRUE(bf::verify_backrefs(fs).ok);
+}

@@ -1,0 +1,208 @@
+// Tests for the workload generator, snapshot/clone policies, and the
+// NFS-trace synthesizer + player.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "fsim/fsim.hpp"
+#include "fsim/trace.hpp"
+#include "fsim/verifier.hpp"
+#include "fsim/workload.hpp"
+#include "storage/env.hpp"
+
+namespace bf = backlog::fsim;
+namespace bs = backlog::storage;
+
+namespace {
+bf::FsimOptions manual_cp_opts() {
+  bf::FsimOptions o;
+  o.ops_per_cp = 1000000;
+  o.dedup_fraction = 0;
+  return o;
+}
+}  // namespace
+
+TEST(Workload, GeneratorIssuesRequestedWrites) {
+  bs::TempDir dir;
+  bs::Env env(dir.path());
+  bf::FileSystem fs(env, manual_cp_opts());
+  bf::WorkloadGenerator gen(fs, 0, bf::WorkloadOptions{});
+  gen.run_block_writes(1000);
+  EXPECT_GE(fs.stats().block_writes, 1000u);
+  EXPECT_GT(gen.live_files(), 0u);
+}
+
+TEST(Workload, DeterministicForSameSeed) {
+  auto run = [](std::uint64_t seed) {
+    bs::TempDir dir;
+    bs::Env env(dir.path());
+    bf::FsimOptions fo = manual_cp_opts();
+    fo.rng_seed = 7;
+    bf::FileSystem fs(env, fo);
+    bf::WorkloadOptions wo;
+    wo.seed = seed;
+    bf::WorkloadGenerator gen(fs, 0, wo);
+    gen.run_block_writes(500);
+    return std::make_tuple(fs.stats().block_writes, fs.stats().block_frees,
+                           fs.stats().allocated_blocks, fs.max_block());
+  };
+  EXPECT_EQ(run(42), run(42));
+  EXPECT_NE(run(42), run(43));
+}
+
+TEST(Workload, PopulationStaysBounded) {
+  bs::TempDir dir;
+  bs::Env env(dir.path());
+  bf::FileSystem fs(env, manual_cp_opts());
+  bf::WorkloadOptions wo;
+  wo.max_live_files = 50;
+  wo.w_delete = 0.05;  // creates dominate; the cap must intervene
+  bf::WorkloadGenerator gen(fs, 0, wo);
+  gen.run_block_writes(5000);
+  EXPECT_LE(gen.live_files(), 50u);
+}
+
+TEST(Workload, SnapshotSchedulerKeepsFourPlusFour) {
+  bs::TempDir dir;
+  bs::Env env(dir.path());
+  bf::FileSystem fs(env, manual_cp_opts());
+  bf::WorkloadGenerator gen(fs, 0, bf::WorkloadOptions{});
+  bf::SnapshotPolicy policy;
+  policy.hourly_every_cps = 2;
+  policy.keep_hourly = 4;
+  policy.nightly_every_cps = 10;
+  policy.keep_nightly = 4;
+  bf::SnapshotScheduler sched(fs, 0, policy);
+  for (std::uint64_t cp = 1; cp <= 100; ++cp) {
+    gen.run_block_writes(20);
+    sched.on_cp(cp);
+    fs.consistency_point();
+  }
+  EXPECT_EQ(sched.hourly().size(), 4u);
+  EXPECT_EQ(sched.nightly().size(), 4u);
+  EXPECT_EQ(fs.registry().snapshots(0).size(), 8u);
+  EXPECT_TRUE(bf::verify_backrefs(fs).ok);
+}
+
+TEST(Workload, CloneChurnerCreatesAndRetires) {
+  bs::TempDir dir;
+  bs::Env env(dir.path());
+  bf::FileSystem fs(env, manual_cp_opts());
+  bf::WorkloadGenerator gen(fs, 0, bf::WorkloadOptions{});
+  gen.run_block_writes(200);
+  const auto snap = fs.take_snapshot(0);
+  fs.consistency_point();
+
+  bf::ClonePolicy cp;
+  cp.clones_per_cp = 1.0;  // force activity
+  cp.max_live_clones = 2;
+  cp.clone_writes = 16;
+  bf::CloneChurner churner(fs, 0, cp, bf::WorkloadOptions{});
+  for (int i = 0; i < 6; ++i) {
+    churner.on_cp({snap});
+    fs.consistency_point();
+  }
+  EXPECT_GE(churner.clones_created(), 4u);
+  EXPECT_LE(churner.live_clones(), 2u);
+  EXPECT_TRUE(bf::verify_backrefs(fs).ok);
+}
+
+TEST(Workload, PresetsHaveDistinctCharacter) {
+  const auto db = bf::dbench_preset(1);
+  const auto vm = bf::varmail_preset(1);
+  const auto pm = bf::postmark_preset(1);
+  EXPECT_GT(vm.small_file_fraction, db.small_file_fraction);
+  EXPECT_GT(pm.w_create + pm.w_delete, db.w_create + db.w_delete);
+  EXPECT_GT(vm.w_append, db.w_append);
+}
+
+TEST(Trace, SynthesizerIsDeterministic) {
+  bf::TraceSynthOptions o;
+  o.hours = 2;
+  o.seed = 5;
+  const auto a = bf::synthesize_eecs03_like(o);
+  const auto b = bf::synthesize_eecs03_like(o);
+  ASSERT_EQ(a.ops.size(), b.ops.size());
+  ASSERT_FALSE(a.ops.empty());
+  for (std::size_t i = 0; i < a.ops.size(); ++i) {
+    EXPECT_EQ(a.ops[i].timestamp, b.ops[i].timestamp);
+    EXPECT_EQ(a.ops[i].type, b.ops[i].type);
+  }
+}
+
+TEST(Trace, DiurnalLoadVaries) {
+  bf::TraceSynthOptions o;
+  o.hours = 24;
+  o.seed = 9;
+  const auto t = bf::synthesize_eecs03_like(o);
+  // Count ops in the first hour (trough: trace starts at midnight) vs the
+  // 12th hour (peak).
+  std::size_t h0 = 0, h12 = 0;
+  for (const auto& op : t.ops) {
+    if (op.timestamp < 3600) ++h0;
+    if (op.timestamp >= 12 * 3600 && op.timestamp < 13 * 3600) ++h12;
+  }
+  EXPECT_GT(h12, h0 * 2) << "midday load must exceed the night trough";
+}
+
+TEST(Trace, SaveLoadRoundTrip) {
+  bf::TraceSynthOptions o;
+  o.hours = 1;
+  o.seed = 3;
+  const auto t = bf::synthesize_eecs03_like(o);
+  std::stringstream ss;
+  t.save(ss);
+  const auto t2 = bf::Trace::load(ss);
+  ASSERT_EQ(t2.ops.size(), t.ops.size());
+  for (std::size_t i = 0; i < t.ops.size(); i += 17) {
+    EXPECT_EQ(t2.ops[i].type, t.ops[i].type);
+    EXPECT_EQ(t2.ops[i].file, t.ops[i].file);
+    EXPECT_EQ(t2.ops[i].a, t.ops[i].a);
+  }
+}
+
+TEST(Trace, LoadRejectsGarbage) {
+  std::stringstream ss("1.0 frobnicate 1 2 3\n");
+  EXPECT_THROW(bf::Trace::load(ss), std::runtime_error);
+}
+
+TEST(Trace, PlayerTriggersTimeBasedCps) {
+  bs::TempDir dir;
+  bs::Env env(dir.path());
+  bf::FsimOptions fo;
+  fo.ops_per_cp = 1000000;       // only the 10 s trigger applies
+  fo.cp_interval_seconds = 10.0;
+  fo.dedup_fraction = 0.05;
+  bf::FileSystem fs(env, fo);
+  bf::TraceSynthOptions o;
+  o.hours = 0.5;  // 30 minutes
+  o.ops_per_second_peak = 5;
+  o.seed = 21;
+  const auto trace = bf::synthesize_eecs03_like(o);
+  ASSERT_FALSE(trace.ops.empty());
+  bf::TracePlayer player(fs, 0);
+  const auto hours = player.play(trace);
+  ASSERT_FALSE(hours.empty());
+  EXPECT_GT(fs.stats().cps_taken, 10u);  // many 10 s windows had activity
+  EXPECT_GT(hours.front().block_ops, 0u);
+  EXPECT_TRUE(bf::verify_backrefs(fs).ok);
+}
+
+TEST(Trace, PlayerHourCallbacksFire) {
+  bs::TempDir dir;
+  bs::Env env(dir.path());
+  bf::FsimOptions fo;
+  fo.dedup_fraction = 0;
+  bf::FileSystem fs(env, fo);
+  bf::TraceSynthOptions o;
+  o.hours = 3;
+  o.ops_per_second_peak = 2;
+  o.seed = 8;
+  const auto trace = bf::synthesize_eecs03_like(o);
+  bf::TracePlayer player(fs, 0);
+  std::vector<std::uint64_t> seen;
+  const auto hours =
+      player.play(trace, [&](std::uint64_t h) { seen.push_back(h); });
+  EXPECT_EQ(seen.size(), hours.size());
+  for (std::size_t i = 0; i < seen.size(); ++i) EXPECT_EQ(seen[i], i);
+}
