@@ -9,6 +9,7 @@
 #include <cstdint>
 #include <cstdio>
 #include <string>
+#include <type_traits>
 
 #include "core/backlog_db.hpp"
 #include "fsim/fsim.hpp"
@@ -72,6 +73,58 @@ inline fsim::SnapshotPolicy paper_snapshot_policy() {
   p.keep_nightly = 4;
   return p;
 }
+
+/// One machine-readable result row. Benches print their human tables as
+/// before and additionally emit one `JSONROW {...}` line per data point, so
+/// downstream tooling can `grep ^JSONROW` and parse without knowing each
+/// bench's table layout.
+class JsonRow {
+ public:
+  JsonRow& str(const char* key, const std::string& value) {
+    sep();
+    body_ += '"';
+    body_ += key;
+    body_ += "\":\"";
+    body_ += value;  // keys/values are bench-controlled: no escaping needed
+    body_ += '"';
+    return *this;
+  }
+
+  JsonRow& num(const char* key, double value) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.6g", value);
+    return raw(key, buf);
+  }
+
+  template <typename T, std::enable_if_t<std::is_integral_v<T>, int> = 0>
+  JsonRow& num(const char* key, T value) {
+    char buf[32];
+    if constexpr (std::is_signed_v<T>) {
+      std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(value));
+    } else {
+      std::snprintf(buf, sizeof buf, "%llu",
+                    static_cast<unsigned long long>(value));
+    }
+    return raw(key, buf);
+  }
+
+  void print() const { std::printf("JSONROW {%s}\n", body_.c_str()); }
+
+ private:
+  JsonRow& raw(const char* key, const char* value) {
+    sep();
+    body_ += '"';
+    body_ += key;
+    body_ += "\":";
+    body_ += value;
+    return *this;
+  }
+  void sep() {
+    if (!body_.empty()) body_ += ',';
+  }
+
+  std::string body_;
+};
 
 inline double now_seconds() {
   return std::chrono::duration<double>(

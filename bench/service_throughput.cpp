@@ -1,0 +1,167 @@
+// Multi-tenant service throughput: aggregate update ops/s and p99 query
+// latency as a function of shard count and tenant count.
+//
+// Two sweeps on the same synthetic, skewed workload (tenant i receives a
+// 1/sqrt(i+1) share of the op budget, so early tenants are several times
+// louder than the tail — the many-tenants-skewed-load scenario):
+//
+//   (a) shards in {1, 2, 4, 8} at 16 tenants — shard scaling; the service
+//       target is >= 2x aggregate throughput from 1 -> 4 shards on a
+//       multi-core host (thread-per-shard cannot scale on a single core);
+//   (b) tenants in {1, 4, 16, 64} at 4 shards — tenant-density scaling.
+//
+// Queries run interleaved with updates (1 per 64 ops) and background
+// maintenance is active throughout, so p99 query latency reflects
+// query-while-maintenance interference, not an idle system.
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "fsim/multi_tenant.hpp"
+#include "service/service.hpp"
+
+using namespace backlog;
+
+namespace {
+
+struct ConfigResult {
+  std::size_t shards = 0;
+  std::size_t tenants = 0;
+  std::uint64_t total_ops = 0;
+  std::uint64_t queries = 0;
+  std::uint64_t maintenance_runs = 0;
+  double wall_seconds = 0;
+  double ops_per_second = 0;
+  std::uint64_t p99_query_micros = 0;
+  std::uint64_t p50_query_micros = 0;
+};
+
+ConfigResult run_config(std::size_t shards, std::size_t tenants,
+                        std::uint64_t total_ops_budget) {
+  storage::TempDir dir("backlog_svc");
+  service::ServiceOptions so;
+  so.shards = shards;
+  so.root = dir.path();
+  so.db_options.expected_ops_per_cp = 2000;
+  so.sync_writes = false;
+  service::VolumeManager vm(so);
+
+  service::MaintenancePolicy policy;
+  policy.l0_run_threshold = 24;
+  policy.budget_per_sweep = std::max<std::size_t>(1, shards / 2);
+  policy.poll_interval = std::chrono::milliseconds(10);
+  service::MaintenanceScheduler scheduler(vm, policy);
+
+  // Skewed op budget: share(i) ~ 1/sqrt(i+1).
+  std::vector<double> share(tenants);
+  double share_sum = 0;
+  for (std::size_t i = 0; i < tenants; ++i) {
+    share[i] = 1.0 / std::sqrt(static_cast<double>(i + 1));
+    share_sum += share[i];
+  }
+
+  std::vector<fsim::TenantWorkload> workloads;
+  std::uint64_t total_ops = 0;
+  for (std::size_t i = 0; i < tenants; ++i) {
+    char name[32];
+    std::snprintf(name, sizeof name, "tenant-%03zu", i);
+    vm.open_volume(name);
+    fsim::TenantTraceOptions to;
+    to.block_ops = std::max<std::uint64_t>(
+        500, static_cast<std::uint64_t>(
+                 static_cast<double>(total_ops_budget) * share[i] / share_sum));
+    to.remove_fraction = 0.4;
+    to.seed = 7000 + i;
+    workloads.push_back({name, fsim::synthesize_tenant_trace(to)});
+    total_ops += workloads.back().trace.ops.size();
+  }
+
+  fsim::ReplayOptions ro;
+  ro.batch_ops = 256;
+  ro.ops_per_cp = 2000;
+  ro.query_every_ops = 64;
+
+  const double t0 = bench::now_seconds();
+  const auto results = fsim::replay_concurrently(vm, workloads, ro);
+  const double wall = bench::now_seconds() - t0;
+  scheduler.stop();
+
+  ConfigResult r;
+  r.shards = shards;
+  r.tenants = tenants;
+  r.total_ops = total_ops;
+  r.wall_seconds = wall;
+  r.ops_per_second = wall > 0 ? static_cast<double>(total_ops) / wall : 0;
+  for (const auto& tr : results) r.queries += tr.queries;
+  const service::ServiceStats stats = vm.stats();
+  r.maintenance_runs = stats.total.maintenance_runs;
+  r.p99_query_micros = stats.total.query_micros.quantile_micros(0.99);
+  r.p50_query_micros = stats.total.query_micros.quantile_micros(0.50);
+  return r;
+}
+
+void report(const ConfigResult& r) {
+  std::printf("%7zu %8zu %10llu %8.2f %12.0f %10llu %10llu %8llu\n", r.shards,
+              r.tenants, static_cast<unsigned long long>(r.total_ops),
+              r.wall_seconds, r.ops_per_second,
+              static_cast<unsigned long long>(r.p50_query_micros),
+              static_cast<unsigned long long>(r.p99_query_micros),
+              static_cast<unsigned long long>(r.maintenance_runs));
+  bench::JsonRow()
+      .str("bench", "service_throughput")
+      .num("shards", static_cast<std::uint64_t>(r.shards))
+      .num("tenants", static_cast<std::uint64_t>(r.tenants))
+      .num("total_ops", r.total_ops)
+      .num("wall_seconds", r.wall_seconds)
+      .num("ops_per_second", r.ops_per_second)
+      .num("p50_query_micros", r.p50_query_micros)
+      .num("p99_query_micros", r.p99_query_micros)
+      .num("maintenance_runs", r.maintenance_runs)
+      .num("queries", r.queries)
+      .print();
+}
+
+void header_row() {
+  std::printf("%7s %8s %10s %8s %12s %10s %10s %8s\n", "shards", "tenants",
+              "ops", "wall_s", "ops/s", "p50_q_us", "p99_q_us", "maint");
+}
+
+}  // namespace
+
+int main() {
+  const bench::Scale scale = bench::Scale::from_env();
+  bench::print_header(
+      "service_throughput — multi-tenant volume service scaling",
+      "new scenario axis (no paper counterpart): shard + tenant scaling",
+      scale);
+  std::printf("host hardware concurrency: %u\n\n",
+              std::thread::hardware_concurrency());
+
+  // Per-sweep op budget; BACKLOG_BENCH_SCALE=1 restores the full size.
+  const std::uint64_t budget = 4096000 / scale.divisor;
+
+  std::printf("sweep (a): shards at 16 tenants, %llu total ops\n",
+              static_cast<unsigned long long>(budget));
+  header_row();
+  double ops_1_shard = 0, ops_4_shards = 0;
+  for (const std::size_t shards : {1u, 2u, 4u, 8u}) {
+    const ConfigResult r = run_config(shards, 16, budget);
+    report(r);
+    if (shards == 1) ops_1_shard = r.ops_per_second;
+    if (shards == 4) ops_4_shards = r.ops_per_second;
+  }
+  if (ops_1_shard > 0) {
+    std::printf("\n1 -> 4 shard speedup: %.2fx (target >= 2x on >= 4 cores)\n",
+                ops_4_shards / ops_1_shard);
+  }
+
+  std::printf("\nsweep (b): tenants at 4 shards\n");
+  header_row();
+  for (const std::size_t tenants : {1u, 4u, 16u, 64u}) {
+    report(run_config(4, tenants, budget));
+  }
+  return 0;
+}

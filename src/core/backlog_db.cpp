@@ -9,10 +9,13 @@
 #include <stdexcept>
 
 #include "core/join.hpp"
+#include "util/clock.hpp"
 #include "util/crc32c.hpp"
 #include "util/serde.hpp"
 
 namespace backlog::core {
+
+using util::now_micros;
 
 namespace {
 
@@ -23,13 +26,6 @@ constexpr char kDvToName[] = "dv_to.bin";
 constexpr char kDvCombinedName[] = "dv_combined.bin";
 constexpr std::uint64_t kManifestMagic = 0x424b4c4f474d4651ULL;
 constexpr std::uint64_t kManifestEditMagic = 0x424b4c4f47454454ULL;
-
-std::uint64_t now_micros() {
-  return static_cast<std::uint64_t>(
-      std::chrono::duration_cast<std::chrono::microseconds>(
-          std::chrono::steady_clock::now().time_since_epoch())
-          .count());
-}
 
 std::size_t record_size_of(std::uint8_t table) {
   switch (table) {
@@ -71,6 +67,17 @@ BacklogDb::BacklogDb(storage::Env& env, BacklogOptions options)
       cache_(options.cache_pages) {
   if (options_.partition_blocks == 0)
     throw std::invalid_argument("BacklogOptions: partition_blocks must be > 0");
+  if (options_.max_extent_blocks == 0)
+    throw std::invalid_argument(
+        "BacklogOptions: max_extent_blocks must be > 0 (every reference "
+        "covers at least one block)");
+  if (options_.expected_ops_per_cp == 0)
+    throw std::invalid_argument(
+        "BacklogOptions: expected_ops_per_cp must be > 0 (it sizes the "
+        "per-run Bloom filters)");
+  // Note: cache_pages == 0 is a documented value (disable the query cache,
+  // used by the cold-cache experiments); it is rejected at the service layer
+  // where a hosted volume always needs a cache, not here.
   if (env_.file_exists(kManifestName)) {
     load_manifest();
     remove_orphan_runs();
@@ -148,6 +155,7 @@ std::uint64_t BacklogDb::flush_table(const std::vector<std::uint8_t>& sorted,
     meta->bloom = writer.bloom();
     meta->min_rec = writer.first_record();
     meta->max_rec = writer.last_record();
+    track_run_added(*meta);
     Partition& part = partitions_[partition];
     (table == Table::kFrom   ? part.from_runs
      : table == Table::kTo   ? part.to_runs
@@ -224,11 +232,32 @@ std::shared_ptr<lsm::RunFile> BacklogDb::open_run(const RunMeta& meta) {
 }
 
 void BacklogDb::drop_run(const RunMeta& meta) {
+  track_run_removed(meta);
   if (auto it = open_runs_.find(meta.name); it != open_runs_.end()) {
     open_lru_.remove(meta.name);
     open_runs_.erase(it);
   }
   env_.delete_file(meta.name);
+}
+
+void BacklogDb::track_run_added(const RunMeta& meta) noexcept {
+  switch (meta.table) {
+    case Table::kFrom: ++quick_.from_runs; break;
+    case Table::kTo: ++quick_.to_runs; break;
+    case Table::kCombined: ++quick_.combined_runs; break;
+  }
+  quick_.db_bytes += meta.size_bytes;
+  quick_.run_records += meta.record_count;
+}
+
+void BacklogDb::track_run_removed(const RunMeta& meta) noexcept {
+  switch (meta.table) {
+    case Table::kFrom: --quick_.from_runs; break;
+    case Table::kTo: --quick_.to_runs; break;
+    case Table::kCombined: --quick_.combined_runs; break;
+  }
+  quick_.db_bytes -= meta.size_bytes;
+  quick_.run_records -= meta.record_count;
 }
 
 bool BacklogDb::run_may_intersect(const RunMeta& meta, BlockNo block_lo,
@@ -434,6 +463,7 @@ void BacklogDb::merge_run_batches(std::vector<std::shared_ptr<RunMeta>>& runs,
       meta->bloom = writer.bloom();
       meta->min_rec = writer.first_record();
       meta->max_rec = writer.last_record();
+      track_run_added(*meta);
       next_level.push_back(std::move(meta));
     }
     runs = std::move(next_level);
@@ -604,6 +634,7 @@ void BacklogDb::maintain_one(std::uint64_t pid, Partition& part,
       meta->min_rec = writer.first_record();
       meta->max_rec = writer.last_record();
       s.bytes_after += meta->size_bytes;
+      track_run_added(*meta);
       dest.push_back(std::move(meta));
     };
     install(combined_name, Table::kCombined, combined_writer, part.combined_runs);
@@ -718,6 +749,13 @@ DbStats BacklogDb::stats() const {
   return s;
 }
 
+QuickStats BacklogDb::quick_stats() const noexcept {
+  QuickStats q = quick_;
+  q.ws_entries = ws_.from_size() + ws_.to_size();
+  q.ops_since_cp = ops_since_cp_;
+  return q;
+}
+
 lsm::DeletionVector& BacklogDb::dv(Table table) {
   switch (table) {
     case Table::kFrom: return dv_from_;
@@ -824,6 +862,7 @@ void BacklogDb::load_manifest() {
                              name_len);
       pos += name_len;
       auto meta = load_run_meta(name, table, partition);
+      track_run_added(*meta);
       Partition& part = partitions_[partition];
       (table == Table::kFrom   ? part.from_runs
        : table == Table::kTo   ? part.to_runs
@@ -877,6 +916,7 @@ void BacklogDb::load_manifest() {
                              name_len);
       epos += name_len;
       auto meta = load_run_meta(name, table, partition);
+      track_run_added(*meta);
       Partition& part = partitions_[partition];
       (table == Table::kFrom   ? part.from_runs
        : table == Table::kTo   ? part.to_runs

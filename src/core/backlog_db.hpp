@@ -113,6 +113,25 @@ struct DbStats {
   std::uint64_t partitions = 0;
 };
 
+/// O(1) stats snapshot. Unlike stats(), which walks every partition and run,
+/// these counters are maintained incrementally as runs are installed and
+/// retired — cheap enough for a scheduler to poll across hundreds of hosted
+/// volumes between every task.
+struct QuickStats {
+  std::uint64_t from_runs = 0;
+  std::uint64_t to_runs = 0;
+  std::uint64_t combined_runs = 0;
+  std::uint64_t db_bytes = 0;
+  std::uint64_t run_records = 0;
+  std::uint64_t ws_entries = 0;     ///< buffered From + To write-store entries
+  std::uint64_t ops_since_cp = 0;
+
+  /// Level-0 pressure signal: the run count that maintenance collapses.
+  [[nodiscard]] std::uint64_t l0_runs() const noexcept {
+    return from_runs + to_runs;
+  }
+};
+
 class BacklogDb {
  public:
   /// Opens (or creates) the database rooted at `env`. If a manifest exists,
@@ -189,6 +208,7 @@ class BacklogDb {
                          BlockNo new_block);
 
   [[nodiscard]] DbStats stats() const;
+  [[nodiscard]] QuickStats quick_stats() const noexcept;
   [[nodiscard]] const BacklogOptions& options() const noexcept { return options_; }
 
  private:
@@ -220,6 +240,11 @@ class BacklogDb {
   std::shared_ptr<lsm::RunFile> open_run(const RunMeta& meta);
   void drop_run(const RunMeta& meta);
   std::string new_run_name(Table table, std::uint64_t partition);
+
+  // QuickStats bookkeeping: every install/retire of a registered run passes
+  // through these (orphan files deleted during recovery never registered).
+  void track_run_added(const RunMeta& meta) noexcept;
+  void track_run_removed(const RunMeta& meta) noexcept;
 
   // Flush helpers.
   std::uint64_t flush_table(const std::vector<std::uint8_t>& sorted,
@@ -267,6 +292,7 @@ class BacklogDb {
   std::map<std::uint64_t, Partition> partitions_;
   std::uint64_t next_run_id_ = 1;
   std::uint64_t ops_since_cp_ = 0;
+  QuickStats quick_{};  // incrementally maintained run counters
   // Largest extent length ever referenced: queries for block b must begin
   // scanning at b - (max_extent_seen_ - 1) to catch covering extents.
   // 1 for block-granularity workloads, so the overscan is usually zero.

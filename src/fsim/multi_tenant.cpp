@@ -1,0 +1,143 @@
+#include "fsim/multi_tenant.hpp"
+
+#include <deque>
+#include <exception>
+#include <thread>
+
+#include "util/clock.hpp"
+#include "util/random.hpp"
+
+namespace backlog::fsim {
+
+using util::now_seconds;
+
+TenantTrace synthesize_tenant_trace(const TenantTraceOptions& options) {
+  util::Rng rng(options.seed);
+  TenantTrace trace;
+  trace.ops.reserve(options.block_ops);
+
+  // Live references, sampled uniformly for removal (swap-pop).
+  std::vector<core::BackrefKey> live;
+  core::BlockNo next_block = 1;  // block 0 reserved, as in fsim
+
+  for (std::uint64_t i = 0; i < options.block_ops; ++i) {
+    const bool remove = !live.empty() && rng.chance(options.remove_fraction);
+    service::UpdateOp op;
+    if (remove) {
+      const std::size_t idx = rng.below(live.size());
+      op.kind = service::UpdateOp::Kind::kRemove;
+      op.key = live[idx];
+      live[idx] = live.back();
+      live.pop_back();
+    } else {
+      op.kind = service::UpdateOp::Kind::kAdd;
+      op.key.block = next_block;
+      op.key.length = rng.between(1, options.max_extent_blocks);
+      next_block += op.key.length;  // write-anywhere: always fresh blocks
+      op.key.inode = 2 + rng.below(options.inodes);
+      op.key.offset = rng.below(1u << 20);
+      op.key.line = 0;
+      live.push_back(op.key);
+    }
+    trace.ops.push_back(op);
+  }
+  trace.live_keys = std::move(live);
+  return trace;
+}
+
+namespace {
+
+TenantReplayResult replay_one(service::VolumeManager& vm,
+                              const TenantWorkload& wl,
+                              const ReplayOptions& options) {
+  TenantReplayResult r;
+  r.tenant = wl.tenant;
+  const double t0 = now_seconds();
+
+  std::vector<std::future<void>> applied;      // current CP window's batches
+  std::deque<std::future<std::vector<core::BackrefEntry>>> queries;
+  core::BlockNo last_added = 0;
+
+  std::vector<service::UpdateOp> batch;
+  batch.reserve(options.batch_ops);
+  std::uint64_t ops_in_window = 0;
+
+  auto flush_batch = [&] {
+    if (batch.empty()) return;
+    r.ops += batch.size();
+    ++r.batches;
+    applied.push_back(vm.apply(wl.tenant, std::move(batch)));
+    batch = {};
+    batch.reserve(options.batch_ops);
+  };
+
+  auto drain_queries = [&](std::size_t keep) {
+    while (queries.size() > keep) {
+      if (queries.front().get().empty()) ++r.empty_query_results;
+      queries.pop_front();
+    }
+  };
+
+  auto take_cp = [&] {
+    flush_batch();
+    // The CP future completing implies every prior foreground task for this
+    // tenant completed (per-shard FIFO) — natural per-tenant backpressure.
+    vm.consistency_point(wl.tenant).get();
+    ++r.cps;
+    for (auto& f : applied) f.get();  // surface any batch exception
+    applied.clear();
+    ops_in_window = 0;
+  };
+
+  for (const service::UpdateOp& op : wl.trace.ops) {
+    if (op.kind == service::UpdateOp::Kind::kAdd) {
+      last_added = op.key.block;
+    } else if (op.key.block == last_added) {
+      last_added = 0;  // keep queries aimed at a still-live reference
+    }
+    batch.push_back(op);
+    if (batch.size() >= options.batch_ops) flush_batch();
+
+    ++ops_in_window;
+    if (options.query_every_ops != 0 && last_added != 0 &&
+        ops_in_window % options.query_every_ops == 0) {
+      flush_batch();  // the queried block must already be applied (FIFO)
+      queries.push_back(vm.query(wl.tenant, last_added));
+      ++r.queries;
+      drain_queries(32);
+    }
+    if (ops_in_window >= options.ops_per_cp) take_cp();
+  }
+  if (options.final_cp || !batch.empty() || !applied.empty()) take_cp();
+  drain_queries(0);
+
+  r.wall_seconds = now_seconds() - t0;
+  return r;
+}
+
+}  // namespace
+
+std::vector<TenantReplayResult> replay_concurrently(
+    service::VolumeManager& vm, const std::vector<TenantWorkload>& workloads,
+    const ReplayOptions& options) {
+  std::vector<TenantReplayResult> results(workloads.size());
+  std::vector<std::exception_ptr> errors(workloads.size());
+  std::vector<std::thread> feeders;
+  feeders.reserve(workloads.size());
+  for (std::size_t i = 0; i < workloads.size(); ++i) {
+    feeders.emplace_back([&, i] {
+      try {
+        results[i] = replay_one(vm, workloads[i], options);
+      } catch (...) {
+        errors[i] = std::current_exception();
+      }
+    });
+  }
+  for (auto& t : feeders) t.join();
+  for (auto& e : errors) {
+    if (e) std::rethrow_exception(e);
+  }
+  return results;
+}
+
+}  // namespace backlog::fsim

@@ -1,0 +1,76 @@
+// Multi-volume workload driver for the service layer (the service-side
+// counterpart of fsim): synthesizes per-tenant block-operation traces and
+// replays them *concurrently* against a VolumeManager, one feeder thread per
+// tenant, with batched updates, the paper's CP cadence, and optional
+// interleaved owner queries.
+//
+// Traces are deterministic (seeded) and carry their own ground truth: the
+// set of references still live when the trace ends, which the service tests
+// verify against scan_all() after concurrent replay + background
+// maintenance. Write-anywhere discipline is preserved per tenant — block
+// numbers are allocated monotonically, a remove always targets a previously
+// added extent, and a key is never re-added while live.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/backref_record.hpp"
+#include "service/volume_manager.hpp"
+
+namespace backlog::fsim {
+
+struct TenantTraceOptions {
+  std::uint64_t block_ops = 20000;       ///< add + remove ops in the trace
+  double remove_fraction = 0.45;         ///< probability an op removes a live ref
+  std::uint64_t max_extent_blocks = 4;   ///< extent lengths drawn from [1, this]
+  std::uint64_t inodes = 512;            ///< synthetic inode population
+  std::uint64_t seed = 1;
+};
+
+/// One tenant's trace plus its ground truth.
+struct TenantTrace {
+  std::vector<service::UpdateOp> ops;
+  /// References added and never removed: exactly the records that must be
+  /// live (to == infinity) after the full trace has been replayed.
+  std::vector<core::BackrefKey> live_keys;
+};
+
+TenantTrace synthesize_tenant_trace(const TenantTraceOptions& options);
+
+struct ReplayOptions {
+  std::size_t batch_ops = 256;      ///< ops per apply() batch
+  std::uint64_t ops_per_cp = 2000;  ///< consistency point every N ops
+  /// Issue one owner query per N ops against a recently touched block
+  /// (0 = no queries). Queries are verified to return at least one entry.
+  std::uint64_t query_every_ops = 0;
+  /// Take a final consistency point when the trace is exhausted.
+  bool final_cp = true;
+};
+
+struct TenantReplayResult {
+  std::string tenant;
+  std::uint64_t ops = 0;
+  std::uint64_t batches = 0;
+  std::uint64_t cps = 0;
+  std::uint64_t queries = 0;
+  std::uint64_t empty_query_results = 0;  ///< queries on a live block with no hit
+  double wall_seconds = 0;
+};
+
+struct TenantWorkload {
+  std::string tenant;
+  TenantTrace trace;
+};
+
+/// Replays every workload concurrently (one feeder thread per tenant).
+/// Volumes must already be open. Backpressure: each feeder waits for its
+/// tenant's consistency-point future before starting the next CP window, so
+/// at most one CP window of work per tenant is in flight. Exceptions raised
+/// by any service future propagate out of this call.
+std::vector<TenantReplayResult> replay_concurrently(
+    service::VolumeManager& vm, const std::vector<TenantWorkload>& workloads,
+    const ReplayOptions& options = {});
+
+}  // namespace backlog::fsim

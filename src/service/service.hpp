@@ -1,0 +1,14 @@
+// Umbrella header for the multi-tenant volume service:
+//
+//   VolumeManager         — hosts N Backlog volumes on a sharded worker pool
+//   MaintenanceScheduler  — tenant-fair background compaction
+//   ServiceStats          — per-tenant latency histograms + I/O accounting
+//
+// See volume_manager.hpp for the threading model.
+#pragma once
+
+#include "service/maintenance_scheduler.hpp"
+#include "service/service_stats.hpp"
+#include "service/shard_queue.hpp"
+#include "service/volume_manager.hpp"
+#include "service/worker_pool.hpp"

@@ -1,0 +1,121 @@
+// Service-level metrics for the multi-tenant volume manager.
+//
+// Each hosted volume accumulates a TenantStats on its owning shard thread
+// (single-writer, no synchronization); VolumeManager::stats() gathers
+// snapshots by running a task on every shard and merges them into a
+// ServiceStats: per-tenant latency histograms for the three service verbs
+// (update batches / consistency points / queries), maintenance accounting,
+// and the volume's IoStats, plus a service-wide total.
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <bit>
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "storage/env.hpp"
+
+namespace backlog::service {
+
+/// Log2-bucketed latency histogram (microseconds). record() is O(1); the
+/// quantile is the upper bound of the bucket containing it, so reported
+/// percentiles are conservative (never under-estimated) within a factor of 2.
+class LatencyHistogram {
+ public:
+  void record(std::uint64_t micros) noexcept {
+    ++count_;
+    sum_micros_ += micros;
+    max_micros_ = std::max(max_micros_, micros);
+    ++buckets_[bucket_of(micros)];
+  }
+
+  [[nodiscard]] std::uint64_t count() const noexcept { return count_; }
+  [[nodiscard]] std::uint64_t sum_micros() const noexcept { return sum_micros_; }
+  [[nodiscard]] std::uint64_t max_micros() const noexcept { return max_micros_; }
+  [[nodiscard]] double mean_micros() const noexcept {
+    return count_ == 0 ? 0.0 : static_cast<double>(sum_micros_) / count_;
+  }
+
+  /// Upper bound of the bucket holding quantile `q` in (0, 1]; 0 if empty.
+  [[nodiscard]] std::uint64_t quantile_micros(double q) const noexcept {
+    if (count_ == 0) return 0;
+    const auto want = std::max<std::uint64_t>(
+        1, static_cast<std::uint64_t>(q * static_cast<double>(count_)));
+    std::uint64_t cum = 0;
+    for (std::size_t i = 0; i < buckets_.size(); ++i) {
+      cum += buckets_[i];
+      if (cum >= want) {
+        // Bucket i holds [2^(i-1)+1 .. 2^i] (bucket 0: exactly 0..1 µs).
+        const std::uint64_t hi = i >= 63 ? UINT64_MAX : (1ull << i);
+        return std::min(hi, max_micros_);
+      }
+    }
+    return max_micros_;
+  }
+
+  void merge(const LatencyHistogram& o) noexcept {
+    count_ += o.count_;
+    sum_micros_ += o.sum_micros_;
+    max_micros_ = std::max(max_micros_, o.max_micros_);
+    for (std::size_t i = 0; i < buckets_.size(); ++i) buckets_[i] += o.buckets_[i];
+  }
+
+ private:
+  static std::size_t bucket_of(std::uint64_t micros) noexcept {
+    if (micros <= 1) return 0;
+    return std::min<std::size_t>(
+        63, static_cast<std::size_t>(64 - std::countl_zero(micros - 1)));
+  }
+
+  std::array<std::uint64_t, 64> buckets_{};
+  std::uint64_t count_ = 0;
+  std::uint64_t sum_micros_ = 0;
+  std::uint64_t max_micros_ = 0;
+};
+
+/// Per-tenant service metrics. Owned and updated exclusively by the tenant's
+/// shard thread; copied wholesale into snapshots.
+struct TenantStats {
+  std::size_t shard = 0;
+  std::uint64_t updates = 0;             ///< add/remove ops applied
+  std::uint64_t batches = 0;             ///< apply() calls executed
+  std::uint64_t cps = 0;
+  std::uint64_t queries = 0;
+  std::uint64_t maintenance_runs = 0;
+  std::uint64_t maintenance_skipped = 0; ///< bg probes below threshold / WS busy
+  LatencyHistogram update_batch_micros;
+  LatencyHistogram cp_micros;
+  LatencyHistogram query_micros;
+  LatencyHistogram maintenance_micros;
+  storage::IoStats io;                   ///< volume Env counters at snapshot
+
+  void merge(const TenantStats& o) noexcept {
+    updates += o.updates;
+    batches += o.batches;
+    cps += o.cps;
+    queries += o.queries;
+    maintenance_runs += o.maintenance_runs;
+    maintenance_skipped += o.maintenance_skipped;
+    update_batch_micros.merge(o.update_batch_micros);
+    cp_micros.merge(o.cp_micros);
+    query_micros.merge(o.query_micros);
+    maintenance_micros.merge(o.maintenance_micros);
+    io.page_reads += o.io.page_reads;
+    io.page_writes += o.io.page_writes;
+    io.bytes_read += o.io.bytes_read;
+    io.bytes_written += o.io.bytes_written;
+    io.files_created += o.io.files_created;
+    io.files_deleted += o.io.files_deleted;
+  }
+};
+
+/// Aggregated service snapshot: one row per tenant plus the merged total
+/// (IoStats summed across the per-volume Envs).
+struct ServiceStats {
+  std::map<std::string, TenantStats> tenants;
+  TenantStats total;
+};
+
+}  // namespace backlog::service

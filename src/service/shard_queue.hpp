@@ -1,0 +1,86 @@
+// Per-shard task queue of the volume service's worker pool.
+//
+// Two priorities: foreground (updates, consistency points, queries) and
+// background (maintenance probes). Foreground work always runs first, but a
+// 1-in-N anti-starvation rule dispatches one background task after N
+// consecutive foreground tasks while background work is pending, so
+// compaction makes progress under sustained load without ever stalling the
+// foreground path for long. Producers are arbitrary API threads and the
+// MaintenanceScheduler; the single consumer is the shard's worker thread
+// (MPSC), which is what lets hosted BacklogDb instances stay lock-free.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <utility>
+
+namespace backlog::service {
+
+using Task = std::function<void()>;
+
+class ShardQueue {
+ public:
+  /// `bg_starvation_limit`: dispatch a pending background task after this
+  /// many consecutive foreground tasks.
+  explicit ShardQueue(std::size_t bg_starvation_limit = 8)
+      : limit_(bg_starvation_limit == 0 ? 1 : bg_starvation_limit) {}
+
+  void push(Task t) {
+    {
+      std::lock_guard lock(mu_);
+      fg_.push_back(std::move(t));
+    }
+    cv_.notify_one();
+  }
+
+  void push_background(Task t) {
+    {
+      std::lock_guard lock(mu_);
+      bg_.push_back(std::move(t));
+    }
+    cv_.notify_one();
+  }
+
+  /// Blocks until a task is available; returns an empty function only once
+  /// the queue is closed *and* fully drained (pending tasks still run).
+  Task pop() {
+    std::unique_lock lock(mu_);
+    cv_.wait(lock, [&] { return closed_ || !fg_.empty() || !bg_.empty(); });
+    const bool take_bg =
+        !bg_.empty() && (fg_.empty() || fg_since_bg_ >= limit_);
+    if (take_bg) {
+      fg_since_bg_ = 0;
+      Task t = std::move(bg_.front());
+      bg_.pop_front();
+      return t;
+    }
+    if (!fg_.empty()) {
+      ++fg_since_bg_;
+      Task t = std::move(fg_.front());
+      fg_.pop_front();
+      return t;
+    }
+    return {};  // closed and drained
+  }
+
+  void close() {
+    {
+      std::lock_guard lock(mu_);
+      closed_ = true;
+    }
+    cv_.notify_all();
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Task> fg_, bg_;
+  std::size_t fg_since_bg_ = 0;
+  std::size_t limit_;
+  bool closed_ = false;
+};
+
+}  // namespace backlog::service

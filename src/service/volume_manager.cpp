@@ -1,0 +1,310 @@
+#include "service/volume_manager.hpp"
+
+#include <stdexcept>
+
+#include "util/clock.hpp"
+
+namespace backlog::service {
+
+using util::now_micros;
+
+namespace {
+
+void validate_tenant_name(const std::string& tenant) {
+  if (tenant.empty())
+    throw std::invalid_argument("tenant name must not be empty");
+  if (tenant.size() > 255)
+    throw std::invalid_argument("tenant name too long: " + tenant);
+  for (const char c : tenant) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '-' || c == '_' || c == '.';
+    if (!ok)
+      throw std::invalid_argument(
+          "tenant name must be [A-Za-z0-9._-] (it names a directory): " +
+          tenant);
+  }
+  if (tenant == "." || tenant == "..")
+    throw std::invalid_argument("tenant name must not be a dot directory");
+}
+
+/// Clears the volume's maintenance-pending flag on every exit path of a
+/// background probe.
+struct PendingGuard {
+  std::atomic<bool>& flag;
+  ~PendingGuard() { flag.store(false, std::memory_order_release); }
+};
+
+}  // namespace
+
+VolumeManager::VolumeManager(ServiceOptions options)
+    : options_(std::move(options)),
+      pool_(options_.shards == 0 ? 1 : options_.shards,
+            options_.bg_starvation_limit) {
+  if (options_.shards == 0)
+    throw std::invalid_argument("ServiceOptions: shards must be > 0");
+  if (options_.root.empty())
+    throw std::invalid_argument("ServiceOptions: root must be set");
+  if (options_.db_options.cache_pages == 0)
+    throw std::invalid_argument(
+        "ServiceOptions: db_options.cache_pages must be > 0 (a hosted volume "
+        "always serves queries through its cache)");
+}
+
+VolumeManager::~VolumeManager() = default;
+
+std::shared_ptr<VolumeManager::Volume> VolumeManager::find(
+    const std::string& tenant) const {
+  std::lock_guard lock(mu_);
+  const auto it = volumes_.find(tenant);
+  if (it == volumes_.end())
+    throw std::invalid_argument("unknown tenant: " + tenant);
+  return it->second;
+}
+
+bool VolumeManager::has_volume(const std::string& tenant) const {
+  std::lock_guard lock(mu_);
+  return volumes_.contains(tenant);
+}
+
+std::vector<std::string> VolumeManager::tenants() const {
+  std::vector<std::string> out;
+  std::lock_guard lock(mu_);
+  out.reserve(volumes_.size());
+  for (const auto& [name, vol] : volumes_) out.push_back(name);
+  return out;
+}
+
+void VolumeManager::open_volume(const std::string& tenant) {
+  validate_tenant_name(tenant);
+  auto vol = std::make_shared<Volume>();
+  vol->tenant = tenant;
+  vol->shard = shard_of(tenant);
+  vol->stats.shard = vol->shard;
+  {
+    std::lock_guard lock(mu_);
+    if (!volumes_.emplace(tenant, vol).second)
+      throw std::invalid_argument("volume already open: " + tenant);
+  }
+  // Registered before the open task runs: any operation submitted after
+  // open_volume() returns queues behind this task on the same shard (FIFO),
+  // so it observes a fully recovered volume.
+  auto prom = std::make_shared<std::promise<void>>();
+  std::future<void> fut = prom->get_future();
+  const std::filesystem::path dir = options_.root / tenant;
+  pool_.submit(vol->shard, [this, vol, prom, dir] {
+    try {
+      vol->env = std::make_unique<storage::Env>(dir);
+      vol->env->set_sync(options_.sync_writes);
+      vol->db = std::make_unique<core::BacklogDb>(*vol->env, options_.db_options);
+      prom->set_value();
+    } catch (...) {
+      prom->set_exception(std::current_exception());
+    }
+  });
+  try {
+    fut.get();
+  } catch (...) {
+    std::lock_guard lock(mu_);
+    volumes_.erase(tenant);
+    throw;
+  }
+}
+
+void VolumeManager::close_volume(const std::string& tenant) {
+  std::shared_ptr<Volume> vol;
+  {
+    std::lock_guard lock(mu_);
+    const auto it = volumes_.find(tenant);
+    if (it == volumes_.end())
+      throw std::invalid_argument("unknown tenant: " + tenant);
+    vol = it->second;
+    volumes_.erase(it);  // no new operations route to it
+  }
+  run_on(vol,
+         [](Volume& v) {
+           // Commit anything still buffered, then tear down (persists the
+           // manifest base via the CP's edit append). Tear-down happens even
+           // if the flush fails: the tenant is already unrouted, so the
+           // volume must actually close — a queued background probe checks
+           // v.db and a subsequent open_volume() re-opens the directory —
+           // while the caller still sees the flush error. Unflushed entries
+           // are then lost to journal replay, exactly as in a crash.
+           struct Teardown {
+             Volume& v;
+             ~Teardown() {
+               v.db.reset();
+               v.env.reset();
+             }
+           } teardown{v};
+           if (v.db->quick_stats().ws_entries != 0) {
+             v.db->consistency_point();
+           }
+         })
+      .get();
+}
+
+std::future<void> VolumeManager::apply(const std::string& tenant,
+                                       std::vector<UpdateOp> batch) {
+  return run_on(find(tenant), [batch = std::move(batch)](Volume& v) {
+    const std::uint64_t t0 = now_micros();
+    for (const UpdateOp& op : batch) {
+      if (op.kind == UpdateOp::Kind::kAdd) {
+        v.db->add_reference(op.key);
+      } else {
+        v.db->remove_reference(op.key);
+      }
+    }
+    v.stats.updates += batch.size();
+    ++v.stats.batches;
+    v.stats.update_batch_micros.record(now_micros() - t0);
+  });
+}
+
+std::future<core::CpFlushStats> VolumeManager::consistency_point(
+    const std::string& tenant) {
+  return run_on(find(tenant), [](Volume& v) {
+    const std::uint64_t t0 = now_micros();
+    core::CpFlushStats s = v.db->consistency_point();
+    ++v.stats.cps;
+    v.stats.cp_micros.record(now_micros() - t0);
+    return s;
+  });
+}
+
+std::future<std::uint64_t> VolumeManager::relocate(const std::string& tenant,
+                                                   core::BlockNo old_block,
+                                                   std::uint64_t length,
+                                                   core::BlockNo new_block) {
+  return run_on(find(tenant), [=](Volume& v) {
+    return v.db->relocate(old_block, length, new_block);
+  });
+}
+
+std::future<std::vector<core::BackrefEntry>> VolumeManager::query(
+    const std::string& tenant, core::BlockNo first, std::uint64_t count,
+    core::QueryOptions opts) {
+  return run_on(find(tenant), [=](Volume& v) {
+    const std::uint64_t t0 = now_micros();
+    std::vector<core::BackrefEntry> r = v.db->query(first, count, opts);
+    ++v.stats.queries;
+    v.stats.query_micros.record(now_micros() - t0);
+    return r;
+  });
+}
+
+std::future<std::vector<core::CombinedRecord>> VolumeManager::scan_all(
+    const std::string& tenant) {
+  return run_on(find(tenant), [](Volume& v) { return v.db->scan_all(); });
+}
+
+std::future<core::MaintenanceStats> VolumeManager::maintain(
+    const std::string& tenant) {
+  return run_on(find(tenant), [](Volume& v) {
+    const std::uint64_t t0 = now_micros();
+    core::MaintenanceStats m = v.db->maintain();
+    ++v.stats.maintenance_runs;
+    v.stats.maintenance_micros.record(now_micros() - t0);
+    return m;
+  });
+}
+
+bool VolumeManager::schedule_maintenance(const std::string& tenant,
+                                         const MaintenancePolicy& policy) {
+  std::shared_ptr<Volume> vol;
+  {
+    std::lock_guard lock(mu_);
+    const auto it = volumes_.find(tenant);
+    if (it == volumes_.end()) return false;
+    vol = it->second;
+  }
+  bool expected = false;
+  if (!vol->maintenance_pending.compare_exchange_strong(
+          expected, true, std::memory_order_acq_rel)) {
+    return false;  // a probe is already queued or running
+  }
+  const std::uint64_t l0 = policy.l0_run_threshold;
+  const std::uint64_t bytes = policy.db_bytes_threshold;
+  run_on(
+      vol,
+      [l0, bytes](Volume& v) {
+        PendingGuard guard{v.maintenance_pending};
+        const core::QuickStats q = v.db->quick_stats();
+        // maintain() requires an empty write store; mid-CP-window volumes
+        // are retried on a later sweep rather than forced through an early
+        // consistency point.
+        if (q.ws_entries != 0) {
+          ++v.stats.maintenance_skipped;
+          return;
+        }
+        const bool over_runs = q.l0_runs() >= l0;
+        const bool over_bytes = bytes != 0 && q.db_bytes >= bytes;
+        if (!over_runs && !over_bytes) {
+          ++v.stats.maintenance_skipped;
+          return;
+        }
+        const std::uint64_t t0 = now_micros();
+        v.db->maintain();
+        ++v.stats.maintenance_runs;
+        v.stats.maintenance_micros.record(now_micros() - t0);
+      },
+      /*background=*/true);
+  return true;
+}
+
+std::future<core::DbStats> VolumeManager::db_stats(const std::string& tenant) {
+  return run_on(find(tenant), [](Volume& v) { return v.db->stats(); });
+}
+
+std::future<core::QuickStats> VolumeManager::quick_stats(
+    const std::string& tenant) {
+  return run_on(find(tenant), [](Volume& v) { return v.db->quick_stats(); });
+}
+
+std::future<storage::IoStats> VolumeManager::io_stats(
+    const std::string& tenant) {
+  return run_on(find(tenant), [](Volume& v) { return v.env->stats(); });
+}
+
+ServiceStats VolumeManager::stats() {
+  // Group the open volumes by shard, then snapshot each shard's group on its
+  // own thread (TenantStats is shard-thread-only state).
+  std::vector<std::vector<std::shared_ptr<Volume>>> by_shard(pool_.size());
+  {
+    std::lock_guard lock(mu_);
+    for (const auto& [name, vol] : volumes_) by_shard[vol->shard].push_back(vol);
+  }
+  using Rows = std::vector<std::pair<std::string, TenantStats>>;
+  std::vector<std::future<Rows>> futs;
+  for (std::size_t shard = 0; shard < by_shard.size(); ++shard) {
+    if (by_shard[shard].empty()) continue;
+    auto prom = std::make_shared<std::promise<Rows>>();
+    futs.push_back(prom->get_future());
+    pool_.submit(shard, [vols = by_shard[shard], prom] {
+      Rows rows;
+      rows.reserve(vols.size());
+      for (const auto& vol : vols) {
+        if (vol->db == nullptr) continue;  // closed while queued
+        TenantStats ts = vol->stats;
+        ts.io = vol->env->stats();
+        rows.emplace_back(vol->tenant, std::move(ts));
+      }
+      prom->set_value(std::move(rows));
+    });
+  }
+  ServiceStats out;
+  for (auto& f : futs) {
+    for (auto& [name, ts] : f.get()) {
+      out.total.merge(ts);
+      out.tenants.emplace(name, std::move(ts));
+    }
+  }
+  return out;
+}
+
+std::future<void> VolumeManager::with_db(
+    const std::string& tenant, std::function<void(core::BacklogDb&)> fn) {
+  return run_on(find(tenant),
+                [fn = std::move(fn)](Volume& v) { fn(*v.db); });
+}
+
+}  // namespace backlog::service

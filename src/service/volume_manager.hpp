@@ -1,0 +1,232 @@
+// VolumeManager — the multi-tenant volume service ("backlogd" core).
+//
+// Hosts N independent Backlog volumes, one directory per tenant under a
+// common root, and routes every tenant deterministically onto one shard of a
+// fixed worker pool (shard-per-thread). All access to a volume's Env and
+// BacklogDb happens on its shard's thread, serialized through the shard's
+// task queue, so the paper's single-threaded update path is preserved
+// unchanged — scaling comes from sharding tenants, not from locking the hot
+// path. The API is asynchronous: update batches, consistency points,
+// queries, relocation and maintenance all return futures.
+//
+// Ordering guarantee: foreground operations for one tenant execute in
+// submission order (per-shard FIFO). Background maintenance runs at lower
+// priority and only between foreground tasks (see shard_queue.hpp), and it
+// skips the volume whenever the write store is non-empty — maintenance never
+// interposes inside a tenant's CP window.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <filesystem>
+#include <functional>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "core/backlog_db.hpp"
+#include "service/service_stats.hpp"
+#include "service/worker_pool.hpp"
+#include "storage/env.hpp"
+#include "util/hash.hpp"
+
+namespace backlog::service {
+
+struct ServiceOptions {
+  /// Worker shards; each hosts a disjoint subset of the volumes.
+  std::size_t shards = 4;
+
+  /// Volumes live at root/<tenant>.
+  std::filesystem::path root;
+
+  /// Options applied to every hosted BacklogDb. The service additionally
+  /// requires cache_pages > 0: a hosted volume always serves queries, so the
+  /// cold-cache experimental setting would be a misconfiguration here.
+  core::BacklogOptions db_options{};
+
+  /// Env fsync behaviour for hosted volumes (benches disable it).
+  bool sync_writes = false;
+
+  /// Anti-starvation ratio of the per-shard queues: one background task may
+  /// run after this many consecutive foreground tasks.
+  std::size_t bg_starvation_limit = 8;
+};
+
+/// Thresholds steering background maintenance (see MaintenanceScheduler).
+struct MaintenancePolicy {
+  /// Schedule maintenance once a volume holds at least this many Level-0
+  /// (From + To) runs.
+  std::uint64_t l0_run_threshold = 48;
+  /// Additionally schedule once the volume's run files exceed this many
+  /// bytes (0 = disabled).
+  std::uint64_t db_bytes_threshold = 0;
+  /// Max background jobs enqueued per scheduler sweep, handed out
+  /// round-robin over tenants — the tenant-fair budget that keeps compaction
+  /// from monopolizing shards.
+  std::size_t budget_per_sweep = 1;
+  std::chrono::milliseconds poll_interval{20};
+};
+
+/// One batched update-path operation (§5 callbacks, service form).
+struct UpdateOp {
+  enum class Kind : std::uint8_t { kAdd, kRemove };
+  Kind kind = Kind::kAdd;
+  core::BackrefKey key;
+};
+
+class VolumeManager {
+ public:
+  explicit VolumeManager(ServiceOptions options);
+  /// Joins the worker pool (pending tasks drain first) and closes every
+  /// still-open volume. Buffered write-store entries that were never
+  /// committed by a consistency point are discarded, exactly as on process
+  /// exit — the file system's journal replay covers them.
+  ~VolumeManager();
+
+  VolumeManager(const VolumeManager&) = delete;
+  VolumeManager& operator=(const VolumeManager&) = delete;
+
+  // --- routing ---------------------------------------------------------------
+
+  [[nodiscard]] std::size_t shard_count() const noexcept { return pool_.size(); }
+
+  /// Deterministic tenant -> shard route: a platform-stable hash of the
+  /// tenant name, so the same tenant lands on the same shard across
+  /// restarts and across processes (given the same shard count).
+  [[nodiscard]] std::size_t shard_of(std::string_view tenant) const noexcept {
+    return util::hash_bytes(tenant.data(), tenant.size(), /*seed=*/0x7e9a97) %
+           pool_.size();
+  }
+
+  // --- volume lifecycle ------------------------------------------------------
+
+  /// Open (or create) the volume for `tenant`; blocks until recovery is
+  /// complete. Throws std::invalid_argument for bad names or duplicates.
+  void open_volume(const std::string& tenant);
+
+  /// Flush (consistency point, if anything is buffered) and close. Blocks.
+  void close_volume(const std::string& tenant);
+
+  [[nodiscard]] bool has_volume(const std::string& tenant) const;
+  [[nodiscard]] std::vector<std::string> tenants() const;
+
+  // --- update path -----------------------------------------------------------
+
+  /// Apply a batch of add/remove callbacks in order on the tenant's shard.
+  /// On a per-op validation failure the future carries the exception and the
+  /// batch is applied only up to the failing op (same contract as issuing
+  /// the calls directly).
+  std::future<void> apply(const std::string& tenant,
+                          std::vector<UpdateOp> batch);
+
+  std::future<core::CpFlushStats> consistency_point(const std::string& tenant);
+
+  std::future<std::uint64_t> relocate(const std::string& tenant,
+                                      core::BlockNo old_block,
+                                      std::uint64_t length,
+                                      core::BlockNo new_block);
+
+  // --- queries ---------------------------------------------------------------
+
+  std::future<std::vector<core::BackrefEntry>> query(
+      const std::string& tenant, core::BlockNo first, std::uint64_t count = 1,
+      core::QueryOptions opts = {});
+
+  std::future<std::vector<core::CombinedRecord>> scan_all(
+      const std::string& tenant);
+
+  // --- maintenance -----------------------------------------------------------
+
+  /// Explicit foreground maintenance (e.g. backlogctl): runs at normal
+  /// priority, fails if the write store is non-empty (core contract).
+  std::future<core::MaintenanceStats> maintain(const std::string& tenant);
+
+  /// Background maintenance probe (MaintenanceScheduler entry point): at
+  /// most one in flight per volume; the probe re-checks the thresholds on
+  /// the shard against a QuickStats snapshot and silently skips when the
+  /// volume is below them or mid-CP-window. Returns false if the tenant is
+  /// unknown or a probe is already pending.
+  bool schedule_maintenance(const std::string& tenant,
+                            const MaintenancePolicy& policy);
+
+  // --- stats -----------------------------------------------------------------
+
+  std::future<core::DbStats> db_stats(const std::string& tenant);
+  std::future<core::QuickStats> quick_stats(const std::string& tenant);
+  /// The tenant's private Env counters — volumes never share an Env, so
+  /// these isolate one tenant's I/O from every other's.
+  std::future<storage::IoStats> io_stats(const std::string& tenant);
+
+  /// Aggregated snapshot across all shards and tenants (blocks briefly: one
+  /// foreground task per shard).
+  ServiceStats stats();
+
+  /// Test/tooling hook: run `fn` with exclusive access to the tenant's db on
+  /// its shard.
+  std::future<void> with_db(const std::string& tenant,
+                            std::function<void(core::BacklogDb&)> fn);
+
+  [[nodiscard]] const ServiceOptions& options() const noexcept {
+    return options_;
+  }
+
+ private:
+  struct Volume {
+    std::string tenant;
+    std::size_t shard = 0;
+    // Created, used and destroyed only on the shard thread.
+    std::unique_ptr<storage::Env> env;
+    std::unique_ptr<core::BacklogDb> db;
+    TenantStats stats;  // shard-thread-only
+    std::atomic<bool> maintenance_pending{false};
+  };
+
+  [[nodiscard]] std::shared_ptr<Volume> find(const std::string& tenant) const;
+
+  /// Run `fn(Volume&)` on the volume's shard; the future carries the result
+  /// or the exception. Tasks capture the Volume by shared_ptr, so a volume
+  /// outlives any task still referencing it even after close_volume().
+  template <typename Fn>
+  auto run_on(std::shared_ptr<Volume> vol, Fn fn, bool background = false)
+      -> std::future<std::invoke_result_t<Fn&, Volume&>> {
+    using R = std::invoke_result_t<Fn&, Volume&>;
+    auto prom = std::make_shared<std::promise<R>>();
+    std::future<R> fut = prom->get_future();
+    const std::size_t shard = vol->shard;
+    Task task = [vol = std::move(vol), fn = std::move(fn), prom]() mutable {
+      try {
+        if (vol->db == nullptr)
+          throw std::logic_error("volume is closed: " + vol->tenant);
+        if constexpr (std::is_void_v<R>) {
+          fn(*vol);
+          prom->set_value();
+        } else {
+          prom->set_value(fn(*vol));
+        }
+      } catch (...) {
+        prom->set_exception(std::current_exception());
+      }
+    };
+    if (background) {
+      pool_.submit_background(shard, std::move(task));
+    } else {
+      pool_.submit(shard, std::move(task));
+    }
+    return fut;
+  }
+
+  ServiceOptions options_;
+  mutable std::mutex mu_;  // guards volumes_ (routing metadata only)
+  std::map<std::string, std::shared_ptr<Volume>> volumes_;
+  // Declared last: ~WorkerPool drains and joins before volumes_ goes away.
+  WorkerPool pool_;
+};
+
+}  // namespace backlog::service

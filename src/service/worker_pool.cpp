@@ -1,0 +1,25 @@
+#include "service/worker_pool.hpp"
+
+namespace backlog::service {
+
+WorkerPool::WorkerPool(std::size_t shards, std::size_t bg_starvation_limit) {
+  shards_.reserve(shards);
+  for (std::size_t i = 0; i < shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>(bg_starvation_limit));
+    Shard* s = shards_.back().get();
+    // Tasks are exception-safe wrappers (they route failures into their
+    // promise), so the drain loop itself never needs a try/catch.
+    s->thread = std::thread([s] {
+      while (Task t = s->queue.pop()) t();
+    });
+  }
+}
+
+WorkerPool::~WorkerPool() {
+  for (auto& s : shards_) s->queue.close();
+  for (auto& s : shards_) {
+    if (s->thread.joinable()) s->thread.join();
+  }
+}
+
+}  // namespace backlog::service

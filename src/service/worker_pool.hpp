@@ -1,0 +1,48 @@
+// Fixed worker pool: one thread per shard, each draining its own ShardQueue.
+//
+// Shard-per-thread (the ScyllaDB idiom): every hosted volume is pinned to
+// exactly one shard, all of its tasks execute on that shard's thread, and so
+// the single-threaded BacklogDb needs no internal locking. The pool is sized
+// once at service start; tenants are routed onto it, never migrated.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "service/shard_queue.hpp"
+
+namespace backlog::service {
+
+class WorkerPool {
+ public:
+  WorkerPool(std::size_t shards, std::size_t bg_starvation_limit);
+  /// Closes every queue, drains pending tasks, joins the threads.
+  ~WorkerPool();
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  [[nodiscard]] std::size_t size() const noexcept { return shards_.size(); }
+
+  void submit(std::size_t shard, Task t) {
+    shards_[shard]->queue.push(std::move(t));
+  }
+  void submit_background(std::size_t shard, Task t) {
+    shards_[shard]->queue.push_background(std::move(t));
+  }
+
+ private:
+  struct Shard {
+    ShardQueue queue;
+    std::thread thread;
+
+    explicit Shard(std::size_t bg_starvation_limit)
+        : queue(bg_starvation_limit) {}
+  };
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace backlog::service

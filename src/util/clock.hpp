@@ -1,0 +1,24 @@
+// Monotonic wall-clock helpers shared by the core timing stats, the service
+// layer's latency histograms and the workload drivers (one definition, so a
+// future clock-source change happens in one place).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace backlog::util {
+
+inline std::uint64_t now_micros() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+inline double now_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace backlog::util

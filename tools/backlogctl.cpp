@@ -8,16 +8,27 @@
 //   backlogctl scan <dir>                  dump every joined record
 //   backlogctl maintain <dir>              run database maintenance (§5.2)
 //   backlogctl dump-run <dir> <file>       decode one run file's records
+//   backlogctl stress <dir> <tenants> <ops> [shards]
+//                                          drive the multi-tenant volume
+//                                          service: <tenants> volumes under
+//                                          <dir>, ~<ops> block ops total,
+//                                          concurrent replay + background
+//                                          maintenance, throughput report
 //
 // Note: opening a volume re-establishes the manifest base (one metadata
-// write); all other inspection is read-only.
+// write); all other inspection is read-only (stress, of course, writes).
+#include <algorithm>
+#include <chrono>
 #include <cinttypes>
 #include <cstdio>
 #include <cstring>
 #include <string>
+#include <vector>
 
 #include "core/backlog_db.hpp"
+#include "fsim/multi_tenant.hpp"
 #include "lsm/run_file.hpp"
+#include "service/service.hpp"
 #include "storage/env.hpp"
 
 using namespace backlog;
@@ -26,8 +37,9 @@ namespace {
 
 int usage() {
   std::fprintf(stderr,
-               "usage: backlogctl <info|runs|query|raw|scan|maintain|dump-run>"
-               " <volume-dir> [args]\n");
+               "usage: backlogctl <info|runs|query|raw|scan|maintain|dump-run|"
+               "stress> <volume-dir> [args]\n"
+               "       backlogctl stress <dir> <tenants> <ops> [shards]\n");
   return 2;
 }
 
@@ -143,11 +155,92 @@ int cmd_dump_run(storage::Env& env, const std::string& file) {
   return 0;
 }
 
+int cmd_stress(const char* dir, std::uint64_t tenants, std::uint64_t total_ops,
+               std::uint64_t shards) {
+  if (tenants == 0 || total_ops == 0 || shards == 0) return usage();
+
+  service::ServiceOptions so;
+  so.shards = shards;
+  so.root = dir;
+  so.sync_writes = false;
+  service::VolumeManager vm(so);
+
+  service::MaintenancePolicy policy;
+  policy.l0_run_threshold = 24;
+  policy.poll_interval = std::chrono::milliseconds(10);
+  service::MaintenanceScheduler scheduler(vm, policy);
+
+  std::vector<fsim::TenantWorkload> workloads;
+  for (std::uint64_t i = 0; i < tenants; ++i) {
+    char name[32];
+    std::snprintf(name, sizeof name, "tenant-%03llu",
+                  static_cast<unsigned long long>(i));
+    vm.open_volume(name);
+    fsim::TenantTraceOptions to;
+    to.block_ops = std::max<std::uint64_t>(1, total_ops / tenants);
+    to.seed = 42 + i;
+    workloads.push_back({name, fsim::synthesize_tenant_trace(to)});
+  }
+
+  const auto t0 = std::chrono::steady_clock::now();
+  fsim::ReplayOptions ro;
+  ro.query_every_ops = 64;
+  const auto results = fsim::replay_concurrently(vm, workloads, ro);
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  scheduler.stop();
+
+  std::uint64_t ops = 0;
+  for (const auto& r : results) ops += r.ops;
+  const service::ServiceStats stats = vm.stats();
+  std::printf("shards:            %llu\n",
+              static_cast<unsigned long long>(shards));
+  std::printf("tenants:           %llu\n",
+              static_cast<unsigned long long>(tenants));
+  std::printf("block ops:         %" PRIu64 " in %.2f s (%.0f ops/s)\n", ops,
+              wall, wall > 0 ? ops / wall : 0.0);
+  std::printf("queries:           %" PRIu64 " (p50 %" PRIu64 " us, p99 %" PRIu64
+              " us)\n",
+              stats.total.queries,
+              stats.total.query_micros.quantile_micros(0.50),
+              stats.total.query_micros.quantile_micros(0.99));
+  std::printf("consistency pts:   %" PRIu64 " (p99 %" PRIu64 " us)\n",
+              stats.total.cps, stats.total.cp_micros.quantile_micros(0.99));
+  std::printf("maintenance:       %" PRIu64 " runs, %" PRIu64 " skipped probes\n",
+              stats.total.maintenance_runs, stats.total.maintenance_skipped);
+  std::printf("io:                %" PRIu64 " page reads, %" PRIu64
+              " page writes\n",
+              stats.total.io.page_reads, stats.total.io.page_writes);
+  std::printf("%-12s %6s %10s %8s %8s %10s %12s\n", "tenant", "shard", "ops",
+              "cps", "queries", "maint", "page_writes");
+  for (const auto& [name, ts] : stats.tenants) {
+    std::printf("%-12s %6zu %10" PRIu64 " %8" PRIu64 " %8" PRIu64 " %10" PRIu64
+                " %12" PRIu64 "\n",
+                name.c_str(), ts.shard, ts.updates, ts.cps, ts.queries,
+                ts.maintenance_runs, ts.io.page_writes);
+  }
+  // Leave the volumes cleanly closed (flushes anything still buffered).
+  for (const auto& name : vm.tenants()) vm.close_volume(name);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 3) return usage();
   const std::string cmd = argv[1];
+  if (cmd == "stress") {
+    if (argc < 5) return usage();
+    try {
+      return cmd_stress(argv[2], std::strtoull(argv[3], nullptr, 0),
+                        std::strtoull(argv[4], nullptr, 0),
+                        argc > 5 ? std::strtoull(argv[5], nullptr, 0) : 4);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "backlogctl: %s\n", e.what());
+      return 1;
+    }
+  }
   storage::Env env(argv[2]);
   try {
     if (cmd == "info") return cmd_info(env);
