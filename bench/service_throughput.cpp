@@ -8,11 +8,16 @@
 //   (a) shards in {1, 2, 4, 8} at 16 tenants — shard scaling; the service
 //       target is >= 2x aggregate throughput from 1 -> 4 shards on a
 //       multi-core host (thread-per-shard cannot scale on a single core);
-//   (b) tenants in {1, 4, 16, 64} at 4 shards — tenant-density scaling.
+//   (b) tenants in {1, 4, 16, 64} at 4 shards — tenant-density scaling;
+//   (c) migration churn at 4 shards / 16 tenants — a churn thread keeps
+//       live-migrating every volume around the shard ring while the
+//       workload runs, measuring what placement changes cost the p99 query
+//       latency (churn period 0 = the no-migration baseline).
 //
 // Queries run interleaved with updates (1 per 64 ops) and background
 // maintenance is active throughout, so p99 query latency reflects
 // query-while-maintenance interference, not an idle system.
+#include <atomic>
 #include <cmath>
 #include <cstdio>
 #include <string>
@@ -33,6 +38,8 @@ struct ConfigResult {
   std::uint64_t total_ops = 0;
   std::uint64_t queries = 0;
   std::uint64_t maintenance_runs = 0;
+  std::uint64_t migrations = 0;
+  std::uint64_t churn_period_ms = 0;
   double wall_seconds = 0;
   double ops_per_second = 0;
   std::uint64_t p99_query_micros = 0;
@@ -40,7 +47,8 @@ struct ConfigResult {
 };
 
 ConfigResult run_config(std::size_t shards, std::size_t tenants,
-                        std::uint64_t total_ops_budget) {
+                        std::uint64_t total_ops_budget,
+                        std::uint64_t churn_period_ms = 0) {
   storage::TempDir dir("backlog_svc");
   service::ServiceOptions so;
   so.shards = shards;
@@ -84,14 +92,56 @@ ConfigResult run_config(std::size_t shards, std::size_t tenants,
   ro.ops_per_cp = 2000;
   ro.query_every_ops = 64;
 
+  // Migration churn: one placement thread rotates every volume to the next
+  // shard each period. Sequential per sweep, so per-volume migrations never
+  // overlap; everything else (updates, queries, maintenance) keeps running.
+  std::atomic<bool> stop_churn{false};
+  std::atomic<std::uint64_t> migrations{0};
+  std::thread churn;
+  if (churn_period_ms > 0) {
+    churn = std::thread([&] {
+      while (!stop_churn.load(std::memory_order_acquire)) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(churn_period_ms));
+        for (const auto& wl : workloads) {
+          if (stop_churn.load(std::memory_order_acquire)) break;
+          try {
+            const std::size_t target =
+                (vm.current_shard(wl.tenant) + 1) % vm.shard_count();
+            if (vm.migrate_volume(wl.tenant, target).moved) {
+              migrations.fetch_add(1, std::memory_order_relaxed);
+            }
+          } catch (const std::exception&) {
+            // A volume can be mid-close at shutdown; churn is best-effort.
+          }
+        }
+      }
+    });
+  }
+
+  // Stop the churn even if the replay throws: a joinable thread at unwind
+  // would std::terminate and mask the real failure (and the churn thread
+  // must not outlive vm).
+  struct ChurnGuard {
+    std::atomic<bool>& stop;
+    std::thread& thread;
+    ~ChurnGuard() {
+      stop.store(true, std::memory_order_release);
+      if (thread.joinable()) thread.join();
+    }
+  } churn_guard{stop_churn, churn};
+
   const double t0 = bench::now_seconds();
   const auto results = fsim::replay_concurrently(vm, workloads, ro);
   const double wall = bench::now_seconds() - t0;
+  stop_churn.store(true, std::memory_order_release);
+  if (churn.joinable()) churn.join();
   scheduler.stop();
 
   ConfigResult r;
   r.shards = shards;
   r.tenants = tenants;
+  r.migrations = migrations.load();
+  r.churn_period_ms = churn_period_ms;
   r.total_ops = total_ops;
   r.wall_seconds = wall;
   r.ops_per_second = wall > 0 ? static_cast<double>(total_ops) / wall : 0;
@@ -104,12 +154,13 @@ ConfigResult run_config(std::size_t shards, std::size_t tenants,
 }
 
 void report(const ConfigResult& r) {
-  std::printf("%7zu %8zu %10llu %8.2f %12.0f %10llu %10llu %8llu\n", r.shards,
-              r.tenants, static_cast<unsigned long long>(r.total_ops),
+  std::printf("%7zu %8zu %10llu %8.2f %12.0f %10llu %10llu %8llu %8llu\n",
+              r.shards, r.tenants, static_cast<unsigned long long>(r.total_ops),
               r.wall_seconds, r.ops_per_second,
               static_cast<unsigned long long>(r.p50_query_micros),
               static_cast<unsigned long long>(r.p99_query_micros),
-              static_cast<unsigned long long>(r.maintenance_runs));
+              static_cast<unsigned long long>(r.maintenance_runs),
+              static_cast<unsigned long long>(r.migrations));
   bench::JsonRow()
       .str("bench", "service_throughput")
       .num("shards", static_cast<std::uint64_t>(r.shards))
@@ -121,12 +172,15 @@ void report(const ConfigResult& r) {
       .num("p99_query_micros", r.p99_query_micros)
       .num("maintenance_runs", r.maintenance_runs)
       .num("queries", r.queries)
+      .num("migrations", r.migrations)
+      .num("churn_period_ms", r.churn_period_ms)
       .print();
 }
 
 void header_row() {
-  std::printf("%7s %8s %10s %8s %12s %10s %10s %8s\n", "shards", "tenants",
-              "ops", "wall_s", "ops/s", "p50_q_us", "p99_q_us", "maint");
+  std::printf("%7s %8s %10s %8s %12s %10s %10s %8s %8s\n", "shards", "tenants",
+              "ops", "wall_s", "ops/s", "p50_q_us", "p99_q_us", "maint",
+              "migr");
 }
 
 }  // namespace
@@ -162,6 +216,26 @@ int main() {
   header_row();
   for (const std::size_t tenants : {1u, 4u, 16u, 64u}) {
     report(run_config(4, tenants, budget));
+  }
+
+  std::printf(
+      "\nsweep (c): migration churn at 4 shards / 16 tenants "
+      "(period 0 = no churn baseline)\n");
+  header_row();
+  std::uint64_t p99_baseline = 0, p99_churn = 0;
+  for (const std::uint64_t period_ms : {0ull, 50ull, 10ull}) {
+    const ConfigResult r = run_config(4, 16, budget, period_ms);
+    report(r);
+    if (period_ms == 0) p99_baseline = r.p99_query_micros;
+    if (period_ms == 10) p99_churn = r.p99_query_micros;
+  }
+  if (p99_baseline > 0) {
+    std::printf("\np99 query latency under 10 ms churn: %llu us vs %llu us "
+                "baseline (%.2fx)\n",
+                static_cast<unsigned long long>(p99_churn),
+                static_cast<unsigned long long>(p99_baseline),
+                static_cast<double>(p99_churn) /
+                    static_cast<double>(p99_baseline));
   }
   return 0;
 }

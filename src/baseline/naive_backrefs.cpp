@@ -32,7 +32,7 @@ std::uint64_t now_micros() {
 }  // namespace
 
 NaiveBackrefs::NaiveBackrefs(storage::Env& env, NaiveOptions options)
-    : env_(env) {
+    : env_(env), structural_removes_(options.structural_removes) {
   tree_ = std::make_unique<storage::BTree>(env, "naive_backrefs.btree",
                                            kNaiveKeySize, kNaiveValueSize,
                                            options.cache_pages);
@@ -63,8 +63,14 @@ void NaiveBackrefs::remove_reference(const core::BackrefKey& key) {
       break;
     }
   }
-  if (!found)
-    throw std::logic_error("NaiveBackrefs: remove of unknown reference");
+  if (!found) {
+    if (!structural_removes_)
+      throw std::logic_error("NaiveBackrefs: remove of unknown reference");
+    // The key was never explicitly added on this line: it is inherited from
+    // a cloned snapshot, and dropping it terminates inheritance — record
+    // the override interval [0, cp) (§4.2.2).
+    encode_naive_key(key, 0, live_key);
+  }
   std::uint8_t vbuf[kNaiveValueSize];
   util::put_be64(vbuf, cp_);
   tree_->put({live_key, kNaiveKeySize}, {vbuf, kNaiveValueSize});

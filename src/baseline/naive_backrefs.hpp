@@ -28,6 +28,13 @@ namespace backlog::baseline {
 
 struct NaiveOptions {
   std::size_t cache_pages = 2048;  ///< 8 MB buffer cache
+
+  /// When true, removing a reference with no live record inserts the
+  /// §4.2.2 structural-inheritance override record [0, cp) instead of
+  /// throwing — the naive table's rendering of "a writable clone dropped a
+  /// reference it only inherited". Off by default: on clone-free workloads
+  /// an unmatched remove is a workload bug and should fail loudly.
+  bool structural_removes = false;
 };
 
 class NaiveBackrefs final : public fsim::BackrefSink {
@@ -49,6 +56,7 @@ class NaiveBackrefs final : public fsim::BackrefSink {
 
  private:
   storage::Env& env_;
+  bool structural_removes_ = false;
   std::unique_ptr<storage::BTree> tree_;
   std::uint64_t ops_since_cp_ = 0;
   core::Epoch cp_ = 1;

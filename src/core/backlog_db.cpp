@@ -183,6 +183,19 @@ CpFlushStats BacklogDb::consistency_point() {
   // rule of write-anywhere systems, §2) — so the registry advances first and
   // the manifest records the post-CP state.
   registry_.advance_cp();
+  persist_registry();
+  ops_since_cp_ = 0;
+
+  const storage::IoStats delta = env_.stats() - before;
+  s.pages_written = delta.page_writes;
+  s.wall_micros = now_micros() - t0;
+  return s;
+}
+
+void BacklogDb::persist_registry() {
+  // Same write order as a CP commit: deletion vectors first, then the
+  // manifest edit that references any runs created since the last write —
+  // a crash in between leaves the previous edit authoritative.
   if (dv_dirty_) {
     dv_from_.save(env_, kDvFromName);
     dv_to_.save(env_, kDvToName);
@@ -190,12 +203,20 @@ CpFlushStats BacklogDb::consistency_point() {
     dv_dirty_ = false;
   }
   append_manifest_edit();
-  ops_since_cp_ = 0;
+}
 
-  const storage::IoStats delta = env_.stats() - before;
-  s.pages_written = delta.page_writes;
-  s.wall_micros = now_micros() - t0;
-  return s;
+std::vector<std::string> BacklogDb::live_files() const {
+  std::vector<std::string> out;
+  out.push_back(kManifestName);
+  for (const char* dv : {kDvFromName, kDvToName, kDvCombinedName}) {
+    if (env_.file_exists(dv)) out.push_back(dv);
+  }
+  for (const auto& [pid, part] : partitions_) {
+    for (const auto& m : part.from_runs) out.push_back(m->name);
+    for (const auto& m : part.to_runs) out.push_back(m->name);
+    for (const auto& m : part.combined_runs) out.push_back(m->name);
+  }
+  return out;
 }
 
 std::shared_ptr<BacklogDb::RunMeta> BacklogDb::load_run_meta(

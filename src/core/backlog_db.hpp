@@ -167,6 +167,20 @@ class BacklogDb {
     return registry_;
   }
 
+  /// Persist the current registry state (and any runs created since the
+  /// last manifest write) as a manifest edit *without* advancing the CP.
+  /// Lets registry mutations made between consistency points — clone
+  /// creation, snapshot deletion — survive a crash instead of waiting for
+  /// the next CP's edit append.
+  void persist_registry();
+
+  /// Names of every file that makes up the database's durable state: the
+  /// manifest, the deletion-vector files that exist, and all registered run
+  /// files. With an empty write store, copying exactly these files yields a
+  /// byte-complete clone of the volume (the service layer's cross-volume
+  /// clone). Orphan files from uncommitted CPs are excluded by construction.
+  [[nodiscard]] std::vector<std::string> live_files() const;
+
   // --- queries (§4.2, §6.4) -------------------------------------------------
 
   /// All owners of physical blocks [first, first+count): "tell me all the

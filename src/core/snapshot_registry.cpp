@@ -129,6 +129,11 @@ std::vector<Epoch> SnapshotRegistry::snapshots(LineId line) const {
   return {li.snapshots.begin(), li.snapshots.end()};
 }
 
+bool SnapshotRegistry::has_snapshot(LineId line, Epoch version) const {
+  auto it = lines_.find(line);
+  return it != lines_.end() && it->second.snapshots.contains(version);
+}
+
 std::vector<Epoch> SnapshotRegistry::valid_versions_in(LineId line, Epoch from,
                                                        Epoch to) const {
   auto it = lines_.find(line);

@@ -86,6 +86,12 @@ class SnapshotRegistry {
   /// live head or zombies.
   [[nodiscard]] std::vector<Epoch> snapshots(LineId line) const;
 
+  /// True if (line, version) is a retained snapshot (zombies excluded).
+  /// Validation hook for the service layer, which refuses to build a new
+  /// tenant on a deleted snapshot even though create_clone() would accept
+  /// the zombie.
+  [[nodiscard]] bool has_snapshot(LineId line, Epoch version) const;
+
   /// Versions in [from, to) that are visible to queries: retained snapshots,
   /// plus the live head (reported as current_cp()) when the line is live.
   [[nodiscard]] std::vector<Epoch> valid_versions_in(LineId line, Epoch from,

@@ -2,6 +2,7 @@
 
 #include <deque>
 #include <exception>
+#include <map>
 #include <thread>
 
 #include "util/clock.hpp"
@@ -16,11 +17,35 @@ TenantTrace synthesize_tenant_trace(const TenantTraceOptions& options) {
   TenantTrace trace;
   trace.ops.reserve(options.block_ops);
 
-  // Live references, sampled uniformly for removal (swap-pop).
+  // Live references, sampled uniformly for removal (swap-pop). Each entry
+  // carries the line it was added under.
   std::vector<core::BackrefKey> live;
   core::BlockNo next_block = 1;  // block 0 reserved, as in fsim
+  core::LineId writable_line = 0;
+  std::uint64_t snapshots_on_line = 0;
+
+  auto fires = [](std::uint64_t every, std::uint64_t i) {
+    return every != 0 && i != 0 && i % every == 0;
+  };
 
   for (std::uint64_t i = 0; i < options.block_ops; ++i) {
+    if (fires(options.snapshot_every_ops, i)) {
+      trace.events.push_back({TraceEvent::Kind::kSnapshot, i, writable_line});
+      ++trace.snapshots;
+      ++snapshots_on_line;
+    }
+    if (fires(options.clone_every_ops, i) && snapshots_on_line > 0) {
+      // Branch off the latest snapshot of the current writable line; the
+      // registry hands out line ids sequentially, so the clone becomes line
+      // `trace.lines` — replay asserts that.
+      trace.events.push_back({TraceEvent::Kind::kClone, i, writable_line});
+      writable_line = trace.lines++;
+      snapshots_on_line = 0;
+    }
+    if (fires(options.migrate_every_ops, i)) {
+      trace.events.push_back({TraceEvent::Kind::kMigrate, i, 0});
+    }
+
     const bool remove = !live.empty() && rng.chance(options.remove_fraction);
     service::UpdateOp op;
     if (remove) {
@@ -36,7 +61,7 @@ TenantTrace synthesize_tenant_trace(const TenantTraceOptions& options) {
       next_block += op.key.length;  // write-anywhere: always fresh blocks
       op.key.inode = 2 + rng.below(options.inodes);
       op.key.offset = rng.below(1u << 20);
-      op.key.line = 0;
+      op.key.line = writable_line;
       live.push_back(op.key);
     }
     trace.ops.push_back(op);
@@ -89,7 +114,50 @@ TenantReplayResult replay_one(service::VolumeManager& vm,
     ops_in_window = 0;
   };
 
-  for (const service::UpdateOp& op : wl.trace.ops) {
+  // Latest snapshot version per line, fed to clone events.
+  std::map<core::LineId, core::Epoch> last_version;
+  core::LineId next_clone_line = 1;
+  std::size_t next_event = 0;
+  std::size_t migrate_round = 0;
+
+  auto run_events_at = [&](std::uint64_t op_index) {
+    while (next_event < wl.trace.events.size() &&
+           wl.trace.events[next_event].at_op == op_index) {
+      const TraceEvent& ev = wl.trace.events[next_event++];
+      flush_batch();  // events act on everything applied so far (FIFO)
+      switch (ev.kind) {
+        case TraceEvent::Kind::kSnapshot: {
+          last_version[ev.line] = vm.take_snapshot(wl.tenant, ev.line).get();
+          ++r.snapshots;
+          break;
+        }
+        case TraceEvent::Kind::kClone: {
+          const core::LineId id =
+              vm.create_clone(wl.tenant, ev.line, last_version.at(ev.line)).get();
+          if (id != next_clone_line) {
+            throw std::logic_error("replay: clone line id mismatch for " +
+                                   wl.tenant);
+          }
+          ++next_clone_line;
+          ++r.clones;
+          break;
+        }
+        case TraceEvent::Kind::kMigrate: {
+          // Rotate deterministically through the shards; one feeder per
+          // tenant, so per-volume migrations never overlap.
+          const std::size_t target =
+              (vm.current_shard(wl.tenant) + 1 + (migrate_round++ % 2)) %
+              vm.shard_count();
+          if (vm.migrate_volume(wl.tenant, target).moved) ++r.migrations;
+          break;
+        }
+      }
+    }
+  };
+
+  for (std::uint64_t i = 0; i < wl.trace.ops.size(); ++i) {
+    run_events_at(i);
+    const service::UpdateOp& op = wl.trace.ops[i];
     if (op.kind == service::UpdateOp::Kind::kAdd) {
       last_added = op.key.block;
     } else if (op.key.block == last_added) {
@@ -108,6 +176,7 @@ TenantReplayResult replay_one(service::VolumeManager& vm,
     }
     if (ops_in_window >= options.ops_per_cp) take_cp();
   }
+  run_events_at(wl.trace.ops.size());
   if (options.final_cp || !batch.empty() || !applied.empty()) take_cp();
   drain_queries(0);
 

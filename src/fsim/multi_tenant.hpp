@@ -10,6 +10,14 @@
 // maintenance. Write-anywhere discipline is preserved per tenant — block
 // numbers are allocated monotonically, a remove always targets a previously
 // added extent, and a key is never re-added while live.
+//
+// Traces can additionally carry snapshot-lifecycle and placement events:
+// take a snapshot of the writable line, branch a writable clone off the
+// latest snapshot (subsequent adds then target the new line), or live-
+// migrate the volume to another shard mid-trace. Events ride at fixed op
+// positions so replays are reproducible, and the ground truth stays exact:
+// live_keys records each add under the line it targeted, and the final line
+// and snapshot counts are precomputed for verification.
 #pragma once
 
 #include <cstdint>
@@ -27,14 +35,40 @@ struct TenantTraceOptions {
   std::uint64_t max_extent_blocks = 4;   ///< extent lengths drawn from [1, this]
   std::uint64_t inodes = 512;            ///< synthetic inode population
   std::uint64_t seed = 1;
+
+  /// Snapshot the writable line every N ops (0 = never).
+  std::uint64_t snapshot_every_ops = 0;
+  /// Branch a writable clone off the latest snapshot every N ops and switch
+  /// subsequent adds to the new line (0 = never). Clone events are skipped
+  /// until the writable line has at least one snapshot, so enabling clones
+  /// without snapshots yields none.
+  std::uint64_t clone_every_ops = 0;
+  /// Live-migrate the volume to the next shard (round-robin) every N ops
+  /// (0 = never).
+  std::uint64_t migrate_every_ops = 0;
+};
+
+/// A snapshot-lifecycle or placement event at a fixed position in the trace.
+struct TraceEvent {
+  enum class Kind : std::uint8_t { kSnapshot, kClone, kMigrate };
+  Kind kind = Kind::kSnapshot;
+  std::uint64_t at_op = 0;   ///< fires before trace.ops[at_op] is applied
+  core::LineId line = 0;     ///< snapshot target / clone parent line
 };
 
 /// One tenant's trace plus its ground truth.
 struct TenantTrace {
   std::vector<service::UpdateOp> ops;
   /// References added and never removed: exactly the records that must be
-  /// live (to == infinity) after the full trace has been replayed.
+  /// live (to == infinity) after the full trace has been replayed, across
+  /// all lines the trace wrote to.
   std::vector<core::BackrefKey> live_keys;
+  /// Events in at_op order (empty unless the options enable them).
+  std::vector<TraceEvent> events;
+  /// Lines the volume ends with (1 + clones taken); clone events create
+  /// lines 1, 2, ... in order, which replay asserts against the service.
+  std::uint64_t lines = 1;
+  std::uint64_t snapshots = 0;  ///< snapshot events in the trace
 };
 
 TenantTrace synthesize_tenant_trace(const TenantTraceOptions& options);
@@ -56,6 +90,9 @@ struct TenantReplayResult {
   std::uint64_t cps = 0;
   std::uint64_t queries = 0;
   std::uint64_t empty_query_results = 0;  ///< queries on a live block with no hit
+  std::uint64_t snapshots = 0;            ///< take_snapshot verbs issued
+  std::uint64_t clones = 0;               ///< lines branched
+  std::uint64_t migrations = 0;           ///< completed live migrations
   double wall_seconds = 0;
 };
 
@@ -67,7 +104,9 @@ struct TenantWorkload {
 /// Replays every workload concurrently (one feeder thread per tenant).
 /// Volumes must already be open. Backpressure: each feeder waits for its
 /// tenant's consistency-point future before starting the next CP window, so
-/// at most one CP window of work per tenant is in flight. Exceptions raised
+/// at most one CP window of work per tenant is in flight. Snapshot/clone/
+/// migrate events execute inline on the feeder (migrations are serialized
+/// per volume by construction — one feeder per tenant). Exceptions raised
 /// by any service future propagate out of this call.
 std::vector<TenantReplayResult> replay_concurrently(
     service::VolumeManager& vm, const std::vector<TenantWorkload>& workloads,

@@ -83,6 +83,10 @@ struct TenantStats {
   std::uint64_t batches = 0;             ///< apply() calls executed
   std::uint64_t cps = 0;
   std::uint64_t queries = 0;
+  std::uint64_t snapshots = 0;           ///< take_snapshot verbs committed
+  std::uint64_t clones = 0;              ///< lines branched (intra + clone_volume)
+  std::uint64_t snapshot_deletes = 0;
+  std::uint64_t migrations = 0;          ///< completed shard handoffs
   std::uint64_t maintenance_runs = 0;
   std::uint64_t maintenance_skipped = 0; ///< bg probes below threshold / WS busy
   LatencyHistogram update_batch_micros;
@@ -96,6 +100,10 @@ struct TenantStats {
     batches += o.batches;
     cps += o.cps;
     queries += o.queries;
+    snapshots += o.snapshots;
+    clones += o.clones;
+    snapshot_deletes += o.snapshot_deletes;
+    migrations += o.migrations;
     maintenance_runs += o.maintenance_runs;
     maintenance_skipped += o.maintenance_skipped;
     update_batch_micros.merge(o.update_batch_micros);

@@ -8,6 +8,9 @@
 // foreground path for long. Producers are arbitrary API threads and the
 // MaintenanceScheduler; the single consumer is the shard's worker thread
 // (MPSC), which is what lets hosted BacklogDb instances stay lock-free.
+// During a tenant migration, tasks that race the handoff are parked at the
+// VolumeManager routing layer and replayed here in submission order — a
+// queue never sees two shards' worth of one tenant's work interleaved.
 #pragma once
 
 #include <condition_variable>

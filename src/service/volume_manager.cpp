@@ -1,5 +1,6 @@
 #include "service/volume_manager.hpp"
 
+#include <filesystem>
 #include <stdexcept>
 
 #include "util/clock.hpp"
@@ -35,6 +36,15 @@ struct PendingGuard {
 };
 
 }  // namespace
+
+bool VolumeManager::flush_buffered_cp(Volume& v) {
+  if (v.db->quick_stats().ws_entries == 0) return false;
+  const std::uint64_t t0 = now_micros();
+  v.db->consistency_point();
+  ++v.stats.cps;
+  v.stats.cp_micros.record(now_micros() - t0);
+  return true;
+}
 
 VolumeManager::VolumeManager(ServiceOptions options)
     : options_(std::move(options)),
@@ -74,6 +84,58 @@ std::vector<std::string> VolumeManager::tenants() const {
   return out;
 }
 
+std::size_t VolumeManager::current_shard(const std::string& tenant) const {
+  const std::shared_ptr<Volume> vol = find(tenant);
+  std::shared_lock lock(routing_mu_);
+  return vol->shard;
+}
+
+void VolumeManager::dispatch(const std::shared_ptr<Volume>& vol, Task task,
+                             bool background) {
+  std::shared_lock lock(routing_mu_);
+  if (vol->parked) {
+    std::lock_guard pl(vol->park_mu);
+    vol->parked_tasks.push_back({std::move(task), background});
+    return;
+  }
+  if (background) {
+    pool_.submit_background(vol->shard, std::move(task));
+  } else {
+    pool_.submit(vol->shard, std::move(task));
+  }
+}
+
+void VolumeManager::submit_chasing(std::shared_ptr<Volume> vol,
+                                   std::function<void(Volume&)> body,
+                                   bool background) {
+  Task task = [this, vol, body = std::move(body), background]() mutable {
+    bool stale = false;
+    {
+      std::shared_lock rl(routing_mu_);
+      // A migration's drain barrier only covers the foreground queue, so a
+      // *background* task can be popped by the old owner after the volume
+      // moved (shard mismatch) — or, worse, in the drain-to-flip window,
+      // where the shard field still points here but the target may take
+      // over the moment the drain's promise lands (parked flag). Either
+      // way the task must not touch the volume here. Foreground tasks can
+      // never be stale: FIFO puts them ahead of the drain, and they must
+      // run in place — re-parking them would reorder against operations
+      // parked at dispatch.
+      stale = vol->shard != WorkerPool::current_shard() ||
+              (background && vol->parked);
+    }
+    if (stale) {
+      // Chase the volume to its current home (or into the parked deque,
+      // which replays on the new owner). The routing-lock read above also
+      // carries the happens-before edge from the previous handoff.
+      submit_chasing(std::move(vol), std::move(body), background);
+      return;
+    }
+    body(*vol);
+  };
+  dispatch(vol, std::move(task), background);
+}
+
 void VolumeManager::open_volume(const std::string& tenant) {
   validate_tenant_name(tenant);
   auto vol = std::make_shared<Volume>();
@@ -86,21 +148,26 @@ void VolumeManager::open_volume(const std::string& tenant) {
       throw std::invalid_argument("volume already open: " + tenant);
   }
   // Registered before the open task runs: any operation submitted after
-  // open_volume() returns queues behind this task on the same shard (FIFO),
-  // so it observes a fully recovered volume.
+  // open_volume() returns queues behind this task for the same volume
+  // (per-shard FIFO + the migration park/replay order), so it observes a
+  // fully recovered volume.
   auto prom = std::make_shared<std::promise<void>>();
   std::future<void> fut = prom->get_future();
   const std::filesystem::path dir = options_.root / tenant;
-  pool_.submit(vol->shard, [this, vol, prom, dir] {
-    try {
-      vol->env = std::make_unique<storage::Env>(dir);
-      vol->env->set_sync(options_.sync_writes);
-      vol->db = std::make_unique<core::BacklogDb>(*vol->env, options_.db_options);
-      prom->set_value();
-    } catch (...) {
-      prom->set_exception(std::current_exception());
-    }
-  });
+  dispatch(
+      vol,
+      [this, vol, prom, dir] {
+        try {
+          vol->env = std::make_unique<storage::Env>(dir);
+          vol->env->set_sync(options_.sync_writes);
+          vol->db =
+              std::make_unique<core::BacklogDb>(*vol->env, options_.db_options);
+          prom->set_value();
+        } catch (...) {
+          prom->set_exception(std::current_exception());
+        }
+      },
+      /*background=*/false);
   try {
     fut.get();
   } catch (...) {
@@ -178,6 +245,251 @@ std::future<std::uint64_t> VolumeManager::relocate(const std::string& tenant,
   return run_on(find(tenant), [=](Volume& v) {
     return v.db->relocate(old_block, length, new_block);
   });
+}
+
+std::future<core::Epoch> VolumeManager::take_snapshot(const std::string& tenant,
+                                                      core::LineId line) {
+  return run_on(find(tenant), [line](Volume& v) {
+    // Retain the in-progress CP as the snapshot version, then commit it:
+    // updates applied before this verb carry from == version and are part
+    // of the snapshot; the CP advance makes later updates invisible to it.
+    const core::Epoch version = v.db->registry().take_snapshot(line);
+    const std::uint64_t t0 = now_micros();
+    v.db->consistency_point();
+    ++v.stats.cps;
+    v.stats.cp_micros.record(now_micros() - t0);
+    ++v.stats.snapshots;
+    return version;
+  });
+}
+
+std::future<core::LineId> VolumeManager::create_clone(const std::string& tenant,
+                                                      core::LineId parent_line,
+                                                      core::Epoch version) {
+  return run_on(find(tenant), [parent_line, version](Volume& v) {
+    const core::LineId line = v.db->registry().create_clone(parent_line, version);
+    v.db->persist_registry();
+    ++v.stats.clones;
+    return line;
+  });
+}
+
+std::future<void> VolumeManager::delete_snapshot(const std::string& tenant,
+                                                 core::LineId line,
+                                                 core::Epoch version) {
+  return run_on(find(tenant), [line, version](Volume& v) {
+    v.db->registry().delete_snapshot(line, version);
+    v.db->persist_registry();
+    ++v.stats.snapshot_deletes;
+  });
+}
+
+std::future<std::vector<core::Epoch>> VolumeManager::list_versions(
+    const std::string& tenant, core::LineId line) {
+  return run_on(find(tenant),
+                [line](Volume& v) { return v.db->registry().snapshots(line); });
+}
+
+core::LineId VolumeManager::clone_volume(const std::string& src_tenant,
+                                         const std::string& dst_tenant,
+                                         core::LineId parent_line,
+                                         core::Epoch version) {
+  validate_tenant_name(dst_tenant);
+  if (src_tenant == dst_tenant)
+    throw std::invalid_argument("clone_volume: src and dst are the same");
+  const std::shared_ptr<Volume> src = find(src_tenant);
+
+  // Reserve the destination name up front: concurrent open_volume() or
+  // clone_volume() calls for the same tenant fail on the map insert instead
+  // of racing the copy (and possibly deleting each other's files in their
+  // cleanup paths). Operations routed to the reservation before the volume
+  // opens fail with "volume is closed", the same transient window a plain
+  // open_volume() has.
+  auto dst = std::make_shared<Volume>();
+  dst->tenant = dst_tenant;
+  dst->shard = shard_of(dst_tenant);
+  dst->stats.shard = dst->shard;
+  {
+    std::lock_guard lock(mu_);
+    if (!volumes_.emplace(dst_tenant, dst).second)
+      throw std::invalid_argument("volume already open: " + dst_tenant);
+  }
+
+  const std::filesystem::path dst_dir = options_.root / dst_tenant;
+  bool copied = false;
+  try {
+    if (std::filesystem::exists(dst_dir))
+      throw std::invalid_argument("clone_volume: destination already exists: " +
+                                  dst_dir.string());
+
+    // Quiesce-and-copy on the source shard: the copy task serializes behind
+    // every update submitted before this call, flushes anything buffered so
+    // the durable files are the complete state, validates the snapshot, and
+    // copies the db's own file list (manifest, deletion vectors, runs).
+    run_on(src,
+           [parent_line, version, dst_dir](Volume& v) {
+             flush_buffered_cp(v);
+             if (!v.db->registry().has_snapshot(parent_line, version)) {
+               throw std::invalid_argument(
+                   "clone_volume: (line " + std::to_string(parent_line) +
+                   ", v" + std::to_string(version) +
+                   ") is not a retained snapshot of " + v.tenant);
+             }
+             std::filesystem::create_directories(dst_dir);
+             try {
+               for (const std::string& name : v.db->live_files()) {
+                 std::filesystem::copy_file(
+                     v.env->root() / name, dst_dir / name,
+                     std::filesystem::copy_options::overwrite_existing);
+               }
+             } catch (...) {
+               std::error_code ec;
+               std::filesystem::remove_all(dst_dir, ec);  // drop the partial copy
+               throw;
+             }
+           })
+        .get();
+    copied = true;
+
+    // The destination recovers from the copied manifest like any reopened
+    // volume, then branches its writable line off the snapshot. The new
+    // line is persisted immediately so the clone relationship survives a
+    // crash.
+    auto prom = std::make_shared<std::promise<void>>();
+    std::future<void> opened = prom->get_future();
+    dispatch(
+        dst,
+        [this, dst, prom, dst_dir] {
+          try {
+            dst->env = std::make_unique<storage::Env>(dst_dir);
+            dst->env->set_sync(options_.sync_writes);
+            dst->db = std::make_unique<core::BacklogDb>(*dst->env,
+                                                        options_.db_options);
+            prom->set_value();
+          } catch (...) {
+            prom->set_exception(std::current_exception());
+          }
+        },
+        /*background=*/false);
+    opened.get();
+    return run_on(dst,
+                  [parent_line, version](Volume& v) {
+                    const core::LineId line =
+                        v.db->registry().create_clone(parent_line, version);
+                    v.db->persist_registry();
+                    ++v.stats.clones;
+                    return line;
+                  })
+        .get();
+  } catch (...) {
+    // Unregister the reservation, tear down whatever opened on the shard,
+    // and drop the copied directory — a retry must not hit "destination
+    // already exists" for a volume that never came to life.
+    {
+      std::lock_guard lock(mu_);
+      volumes_.erase(dst_tenant);
+    }
+    try {
+      run_on(dst,
+             [](Volume& v) {
+               v.db.reset();
+               v.env.reset();
+             })
+          .get();
+    } catch (...) {
+      // "volume is closed" when the open never happened — nothing to tear
+      // down.
+    }
+    if (copied) {
+      std::error_code ec;
+      std::filesystem::remove_all(dst_dir, ec);
+    }
+    throw;
+  }
+}
+
+MigrationStats VolumeManager::migrate_volume(const std::string& tenant,
+                                             std::size_t target_shard) {
+  if (target_shard >= pool_.size())
+    throw std::invalid_argument("migrate_volume: no shard " +
+                                std::to_string(target_shard));
+  const std::shared_ptr<Volume> vol = find(tenant);
+  MigrationStats ms;
+  ms.target_shard = target_shard;
+
+  // Phase 1 — park. The exclusive write waits out every in-flight dispatch,
+  // so after it every previously submitted op is in the source queue and
+  // every later one lands in the parked deque.
+  {
+    std::unique_lock lock(routing_mu_);
+    if (vol->parked)
+      throw std::logic_error("migrate_volume: handoff already in flight: " +
+                             tenant);
+    ms.source_shard = vol->shard;
+    if (vol->shard == target_shard) return ms;  // already there
+    vol->parked = true;
+  }
+
+  // Phase 2 — drain barrier on the source shard (submitted directly: run_on
+  // would park it). FIFO puts it behind all of the tenant's queued ops; it
+  // forces a consistency point when updates are buffered, so the handoff is
+  // also a durability point.
+  auto prom = std::make_shared<std::promise<bool>>();
+  std::future<bool> drained = prom->get_future();
+  pool_.submit(ms.source_shard, [vol, prom, target_shard] {
+    try {
+      bool forced = false;
+      if (vol->db != nullptr) {
+        forced = flush_buffered_cp(*vol);
+        ++vol->stats.migrations;
+        vol->stats.shard = target_shard;
+      }
+      prom->set_value(forced);
+    } catch (...) {
+      prom->set_exception(std::current_exception());
+    }
+  });
+
+  // Replays the parked deque onto `shard` in original submission order.
+  // Caller must hold routing_mu_ exclusively, so no new parkers interleave
+  // and nothing submitted later can jump ahead of the replayed ops.
+  const auto replay = [&](std::size_t shard) {
+    std::deque<ParkedTask> parked;
+    {
+      std::lock_guard pl(vol->park_mu);
+      parked.swap(vol->parked_tasks);
+    }
+    ms.replayed_tasks = parked.size();
+    for (ParkedTask& pt : parked) {
+      if (pt.background) {
+        pool_.submit_background(shard, std::move(pt.task));
+      } else {
+        pool_.submit(shard, std::move(pt.task));
+      }
+    }
+    vol->parked = false;
+  };
+
+  try {
+    ms.forced_cp = drained.get();
+  } catch (...) {
+    // Drain failed (e.g. the forced CP threw): the volume stays put and the
+    // racers replay on the source, still in order.
+    std::unique_lock lock(routing_mu_);
+    replay(ms.source_shard);
+    throw;
+  }
+
+  // Phase 3 — flip ownership and replay. The promise/queue handoff orders
+  // the source thread's last writes before the target thread's first reads,
+  // so the BacklogDb handle moves shards without any lock of its own.
+  {
+    std::unique_lock lock(routing_mu_);
+    vol->shard = target_shard;
+    replay(target_shard);
+  }
+  ms.moved = true;
+  return ms;
 }
 
 std::future<std::vector<core::BackrefEntry>> VolumeManager::query(
@@ -266,36 +578,37 @@ std::future<storage::IoStats> VolumeManager::io_stats(
 }
 
 ServiceStats VolumeManager::stats() {
-  // Group the open volumes by shard, then snapshot each shard's group on its
-  // own thread (TenantStats is shard-thread-only state).
+  // Group the open volumes by their current shard, then snapshot the groups
+  // one shard at a time: the next shard's snapshot task is only submitted
+  // once the previous shard finished, so a slow shard never drags the
+  // others into a coordinated stats stall. Tasks route through run_on, so a
+  // volume that migrates mid-aggregation is still snapshotted exactly once,
+  // on whichever thread owns it when its task runs.
   std::vector<std::vector<std::shared_ptr<Volume>>> by_shard(pool_.size());
   {
     std::lock_guard lock(mu_);
+    std::shared_lock rlock(routing_mu_);
     for (const auto& [name, vol] : volumes_) by_shard[vol->shard].push_back(vol);
   }
-  using Rows = std::vector<std::pair<std::string, TenantStats>>;
-  std::vector<std::future<Rows>> futs;
-  for (std::size_t shard = 0; shard < by_shard.size(); ++shard) {
-    if (by_shard[shard].empty()) continue;
-    auto prom = std::make_shared<std::promise<Rows>>();
-    futs.push_back(prom->get_future());
-    pool_.submit(shard, [vols = by_shard[shard], prom] {
-      Rows rows;
-      rows.reserve(vols.size());
-      for (const auto& vol : vols) {
-        if (vol->db == nullptr) continue;  // closed while queued
-        TenantStats ts = vol->stats;
-        ts.io = vol->env->stats();
-        rows.emplace_back(vol->tenant, std::move(ts));
-      }
-      prom->set_value(std::move(rows));
-    });
-  }
   ServiceStats out;
-  for (auto& f : futs) {
-    for (auto& [name, ts] : f.get()) {
-      out.total.merge(ts);
-      out.tenants.emplace(name, std::move(ts));
+  for (std::size_t shard = 0; shard < by_shard.size(); ++shard) {
+    std::vector<std::pair<std::string, std::future<TenantStats>>> futs;
+    futs.reserve(by_shard[shard].size());
+    for (const auto& vol : by_shard[shard]) {
+      futs.emplace_back(vol->tenant, run_on(vol, [](Volume& v) {
+                          TenantStats ts = v.stats;
+                          ts.io = v.env->stats();
+                          return ts;
+                        }));
+    }
+    for (auto& [name, fut] : futs) {
+      try {
+        TenantStats ts = fut.get();
+        out.total.merge(ts);
+        out.tenants.emplace(name, std::move(ts));
+      } catch (const std::logic_error&) {
+        // Closed while the snapshot task was queued — skip it.
+      }
     }
   }
   return out;

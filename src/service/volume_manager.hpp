@@ -1,30 +1,40 @@
 // VolumeManager — the multi-tenant volume service ("backlogd" core).
 //
 // Hosts N independent Backlog volumes, one directory per tenant under a
-// common root, and routes every tenant deterministically onto one shard of a
-// fixed worker pool (shard-per-thread). All access to a volume's Env and
-// BacklogDb happens on its shard's thread, serialized through the shard's
-// task queue, so the paper's single-threaded update path is preserved
-// unchanged — scaling comes from sharding tenants, not from locking the hot
-// path. The API is asynchronous: update batches, consistency points,
-// queries, relocation and maintenance all return futures.
+// common root, and routes every tenant onto one shard of a fixed worker
+// pool (shard-per-thread). All access to a volume's Env and BacklogDb
+// happens on its shard's thread, serialized through the shard's task queue,
+// so the paper's single-threaded update path is preserved unchanged —
+// scaling comes from sharding tenants, not from locking the hot path. The
+// API is asynchronous: update batches, consistency points, queries,
+// snapshot lifecycle verbs, relocation and maintenance all return futures.
+//
+// Placement is *dynamic*: a tenant initially lands on the shard its name
+// hashes to, but migrate_volume() can move a live volume to any other shard
+// without stopping its traffic (see the migration protocol below), and
+// clone_volume() materializes a writable clone of one tenant's snapshot as
+// a brand-new, independently addressable tenant.
 //
 // Ordering guarantee: foreground operations for one tenant execute in
-// submission order (per-shard FIFO). Background maintenance runs at lower
-// priority and only between foreground tasks (see shard_queue.hpp), and it
-// skips the volume whenever the write store is non-empty — maintenance never
-// interposes inside a tenant's CP window.
+// submission order — per-shard FIFO while the tenant is settled, and the
+// park/replay handoff of a migration preserves that order end to end.
+// Background maintenance runs at lower priority and only between foreground
+// tasks (see shard_queue.hpp), and it skips the volume whenever the write
+// store is non-empty — maintenance never interposes inside a tenant's CP
+// window.
 #pragma once
 
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <deque>
 #include <filesystem>
 #include <functional>
 #include <future>
 #include <map>
 #include <memory>
 #include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <string_view>
 #include <type_traits>
@@ -81,6 +91,19 @@ struct UpdateOp {
   core::BackrefKey key;
 };
 
+/// Outcome of migrate_volume().
+struct MigrationStats {
+  std::size_t source_shard = 0;
+  std::size_t target_shard = 0;
+  /// False when the volume already lived on the target shard (no-op).
+  bool moved = false;
+  /// True when the drain flushed buffered updates as a consistency point.
+  bool forced_cp = false;
+  /// Operations that raced the move: parked during the handoff and replayed
+  /// on the target shard in their original submission order.
+  std::size_t replayed_tasks = 0;
+};
+
 class VolumeManager {
  public:
   explicit VolumeManager(ServiceOptions options);
@@ -97,13 +120,19 @@ class VolumeManager {
 
   [[nodiscard]] std::size_t shard_count() const noexcept { return pool_.size(); }
 
-  /// Deterministic tenant -> shard route: a platform-stable hash of the
-  /// tenant name, so the same tenant lands on the same shard across
-  /// restarts and across processes (given the same shard count).
+  /// Deterministic tenant -> *initial* shard route: a platform-stable hash
+  /// of the tenant name, so the same tenant lands on the same shard across
+  /// restarts and across processes (given the same shard count). A volume
+  /// moved by migrate_volume() keeps its new shard until closed; reopening
+  /// returns it to the hash route.
   [[nodiscard]] std::size_t shard_of(std::string_view tenant) const noexcept {
     return util::hash_bytes(tenant.data(), tenant.size(), /*seed=*/0x7e9a97) %
            pool_.size();
   }
+
+  /// The shard currently hosting `tenant` (racy by nature: a concurrent
+  /// migration can change it immediately after the read).
+  [[nodiscard]] std::size_t current_shard(const std::string& tenant) const;
 
   // --- volume lifecycle ------------------------------------------------------
 
@@ -132,6 +161,56 @@ class VolumeManager {
                                       core::BlockNo old_block,
                                       std::uint64_t length,
                                       core::BlockNo new_block);
+
+  // --- snapshot lifecycle (§2, §4.2.2 — service form) ------------------------
+
+  /// Retain the state of `line` as of the current CP as a snapshot and
+  /// commit it: the verb takes a consistency point, so every update applied
+  /// before the call is included in the returned version and every update
+  /// applied after it is excluded. Returns the snapshot's version.
+  std::future<core::Epoch> take_snapshot(const std::string& tenant,
+                                         core::LineId line = 0);
+
+  /// Create a writable clone of snapshot (parent_line, version) *inside*
+  /// the tenant's volume; returns the new line id. The registry change is
+  /// persisted immediately (manifest edit); no CP is taken.
+  std::future<core::LineId> create_clone(const std::string& tenant,
+                                         core::LineId parent_line,
+                                         core::Epoch version);
+
+  /// Delete snapshot (line, version). Zombie semantics apply: a cloned
+  /// snapshot's back references survive until its descendants are gone.
+  std::future<void> delete_snapshot(const std::string& tenant,
+                                    core::LineId line, core::Epoch version);
+
+  /// Retained snapshot versions of `line`, ascending.
+  std::future<std::vector<core::Epoch>> list_versions(const std::string& tenant,
+                                                      core::LineId line = 0);
+
+  /// Clone-as-new-tenant: materialize a writable clone of src's snapshot
+  /// (parent_line, version) as the independently addressable volume
+  /// `dst_tenant`. The source is quiesced on its shard just long enough to
+  /// flush buffered updates (if any) and copy its durable files; the new
+  /// volume recovers from the copy, shares the full structural-inheritance
+  /// history through its (copied) SnapshotRegistry, and gets a fresh
+  /// writable line — whose id this call returns — cloned from the snapshot.
+  /// The destination routes by hash like any newly opened volume. Blocks.
+  core::LineId clone_volume(const std::string& src_tenant,
+                            const std::string& dst_tenant,
+                            core::LineId parent_line, core::Epoch version);
+
+  /// Live migration: move `tenant` to `target_shard` without stopping its
+  /// traffic. Protocol: (1) an exclusive routing-table write marks the
+  /// volume as in-handoff, so operations that race the move are parked
+  /// instead of enqueued; (2) a drain barrier runs on the source shard
+  /// behind every previously queued op and forces a consistency point if
+  /// updates are buffered; (3) ownership flips and the parked operations
+  /// are replayed onto the target shard in their original order, ahead of
+  /// anything submitted later. Per-tenant FIFO ordering is preserved end to
+  /// end; other tenants never block. Blocks the caller (not the service).
+  /// Throws std::logic_error if a migration of this volume is in flight.
+  MigrationStats migrate_volume(const std::string& tenant,
+                                std::size_t target_shard);
 
   // --- queries ---------------------------------------------------------------
 
@@ -164,8 +243,11 @@ class VolumeManager {
   /// these isolate one tenant's I/O from every other's.
   std::future<storage::IoStats> io_stats(const std::string& tenant);
 
-  /// Aggregated snapshot across all shards and tenants (blocks briefly: one
-  /// foreground task per shard).
+  /// Aggregated snapshot across all shards and tenants. Shards are
+  /// snapshotted *sequentially* — shard k's snapshot task is submitted only
+  /// after shard k-1's completed — so at most one shard is ever servicing
+  /// stats at a time: a slow shard delays only the aggregation, never the
+  /// other shards, and the fleet never takes a coordinated stats blip.
   ServiceStats stats();
 
   /// Test/tooling hook: run `fn` with exclusive access to the tenant's db on
@@ -178,10 +260,22 @@ class VolumeManager {
   }
 
  private:
+  struct ParkedTask {
+    Task task;
+    bool background = false;
+  };
+
   struct Volume {
     std::string tenant;
+    // Routing state, guarded by routing_mu_: `shard` is where tasks enqueue,
+    // `parked` is set for the duration of a migration handoff. The parked
+    // deque has its own tiny mutex because parkers only hold routing_mu_
+    // shared.
     std::size_t shard = 0;
-    // Created, used and destroyed only on the shard thread.
+    bool parked = false;
+    std::mutex park_mu;
+    std::deque<ParkedTask> parked_tasks;
+    // Created, used and destroyed only on the owning shard's thread.
     std::unique_ptr<storage::Env> env;
     std::unique_ptr<core::BacklogDb> db;
     TenantStats stats;  // shard-thread-only
@@ -189,6 +283,30 @@ class VolumeManager {
   };
 
   [[nodiscard]] std::shared_ptr<Volume> find(const std::string& tenant) const;
+
+  /// Shard-thread helper: flush buffered updates as a consistency point
+  /// (with stats accounting) if there are any; returns whether a CP was
+  /// taken. Used by clone_volume's quiesce and migrate_volume's drain.
+  static bool flush_buffered_cp(Volume& v);
+
+  /// Route one task to wherever the volume currently lives: its shard's
+  /// queue, or the volume's parked deque while a migration handoff is in
+  /// flight (replayed on the target in order). Readers share routing_mu_;
+  /// only migrate_volume() ever takes it exclusively — the hot path pays
+  /// one uncontended shared lock, the dbs themselves stay lock-free.
+  void dispatch(const std::shared_ptr<Volume>& vol, Task task,
+                bool background);
+
+  /// Wrap `body` in a staleness check and route it to the volume. A
+  /// foreground task always runs on the owning shard (the migration drain
+  /// queues behind it), but a *background* task can linger in the
+  /// low-priority queue past the drain barrier and be popped by the old
+  /// owner after the volume moved — touching the volume there would race
+  /// the new owner. The wrapper detects that (current_shard() no longer
+  /// matches the routing table) and re-dispatches itself to chase the
+  /// volume to its new home instead of running.
+  void submit_chasing(std::shared_ptr<Volume> vol,
+                      std::function<void(Volume&)> body, bool background);
 
   /// Run `fn(Volume&)` on the volume's shard; the future carries the result
   /// or the exception. Tasks capture the Volume by shared_ptr, so a volume
@@ -199,32 +317,31 @@ class VolumeManager {
     using R = std::invoke_result_t<Fn&, Volume&>;
     auto prom = std::make_shared<std::promise<R>>();
     std::future<R> fut = prom->get_future();
-    const std::size_t shard = vol->shard;
-    Task task = [vol = std::move(vol), fn = std::move(fn), prom]() mutable {
+    std::function<void(Volume&)> body = [fn = std::move(fn),
+                                         prom](Volume& v) mutable {
       try {
-        if (vol->db == nullptr)
-          throw std::logic_error("volume is closed: " + vol->tenant);
+        if (v.db == nullptr)
+          throw std::logic_error("volume is closed: " + v.tenant);
         if constexpr (std::is_void_v<R>) {
-          fn(*vol);
+          fn(v);
           prom->set_value();
         } else {
-          prom->set_value(fn(*vol));
+          prom->set_value(fn(v));
         }
       } catch (...) {
         prom->set_exception(std::current_exception());
       }
     };
-    if (background) {
-      pool_.submit_background(shard, std::move(task));
-    } else {
-      pool_.submit(shard, std::move(task));
-    }
+    submit_chasing(std::move(vol), std::move(body), background);
     return fut;
   }
 
   ServiceOptions options_;
-  mutable std::mutex mu_;  // guards volumes_ (routing metadata only)
+  mutable std::mutex mu_;  // guards volumes_ (name -> volume membership)
   std::map<std::string, std::shared_ptr<Volume>> volumes_;
+  // The routing table lock: shared for every task submission, exclusive
+  // only for the two brief writes of a migration handoff.
+  mutable std::shared_mutex routing_mu_;
   // Declared last: ~WorkerPool drains and joins before volumes_ goes away.
   WorkerPool pool_;
 };

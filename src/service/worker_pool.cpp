@@ -2,6 +2,12 @@
 
 namespace backlog::service {
 
+namespace {
+thread_local std::size_t tls_shard = WorkerPool::kNoShard;
+}  // namespace
+
+std::size_t WorkerPool::current_shard() noexcept { return tls_shard; }
+
 WorkerPool::WorkerPool(std::size_t shards, std::size_t bg_starvation_limit) {
   shards_.reserve(shards);
   for (std::size_t i = 0; i < shards; ++i) {
@@ -9,7 +15,8 @@ WorkerPool::WorkerPool(std::size_t shards, std::size_t bg_starvation_limit) {
     Shard* s = shards_.back().get();
     // Tasks are exception-safe wrappers (they route failures into their
     // promise), so the drain loop itself never needs a try/catch.
-    s->thread = std::thread([s] {
+    s->thread = std::thread([s, i] {
+      tls_shard = i;
       while (Task t = s->queue.pop()) t();
     });
   }

@@ -1,9 +1,12 @@
 // Fixed worker pool: one thread per shard, each draining its own ShardQueue.
 //
-// Shard-per-thread (the ScyllaDB idiom): every hosted volume is pinned to
-// exactly one shard, all of its tasks execute on that shard's thread, and so
-// the single-threaded BacklogDb needs no internal locking. The pool is sized
-// once at service start; tenants are routed onto it, never migrated.
+// Shard-per-thread (the ScyllaDB idiom): at any moment every hosted volume
+// is owned by exactly one shard, all of its tasks execute on that shard's
+// thread, and so the single-threaded BacklogDb needs no internal locking.
+// The pool is sized once at service start; ownership of a volume can move
+// between shards at runtime via VolumeManager::migrate_volume(), whose
+// drain/replay handoff guarantees the old and new owner never touch the
+// volume concurrently.
 #pragma once
 
 #include <cstddef>
@@ -25,6 +28,15 @@ class WorkerPool {
   WorkerPool& operator=(const WorkerPool&) = delete;
 
   [[nodiscard]] std::size_t size() const noexcept { return shards_.size(); }
+
+  /// Sentinel returned by current_shard() off the pool's threads.
+  static constexpr std::size_t kNoShard = static_cast<std::size_t>(-1);
+
+  /// Shard index of the calling worker thread (kNoShard for API threads).
+  /// Lets a task detect that it was popped by a shard that no longer owns
+  /// its volume — possible for background tasks, which can linger in the
+  /// low-priority queue past a migration's foreground drain barrier.
+  [[nodiscard]] static std::size_t current_shard() noexcept;
 
   void submit(std::size_t shard, Task t) {
     shards_[shard]->queue.push(std::move(t));

@@ -299,6 +299,47 @@ TEST(Service, QuickStatsMatchesFullWalk) {
   check("after reopen");
 }
 
+TEST(Service, StatsSnapshotsShardsSequentially) {
+  // Regression: stats() used to submit one snapshot task to every shard at
+  // once, so every shard served the aggregation at the same moment (a
+  // coordinated fleet-wide blip) and a slow shard was sampled *before* the
+  // aggregate's own wait on earlier shards finished. Now shard k's snapshot
+  // is only submitted once shard k-1's completed. Deterministic probe: gate
+  // shard 0, start stats(), complete updates on shard 1 while shard 0 is
+  // blocked — the aggregate must include them, because shard 1 may only be
+  // snapshotted after shard 0 drains.
+  bs::TempDir dir;
+  bsvc::VolumeManager vm(service_options(dir, 2));
+  // Find tenant names that land on shard 0 and shard 1.
+  std::string t0, t1;
+  for (int i = 0; (t0.empty() || t1.empty()) && i < 64; ++i) {
+    const std::string name = "tenant-" + std::to_string(i);
+    (vm.shard_of(name) == 0 ? t0 : t1) = name;
+  }
+  ASSERT_FALSE(t0.empty());
+  ASSERT_FALSE(t1.empty());
+  vm.open_volume(t0);
+  vm.open_volume(t1);
+
+  std::promise<void> release;
+  std::shared_future<void> released = release.get_future().share();
+  auto blocker = vm.with_db(t0, [released](bc::BacklogDb&) { released.wait(); });
+
+  std::thread stats_thread;
+  bsvc::ServiceStats observed;
+  stats_thread = std::thread([&] { observed = vm.stats(); });
+
+  // Shard 1 keeps serving while shard 0 is gated; these 3 updates complete
+  // strictly before the gate opens.
+  vm.apply(t1, {add(1), add(2), add(3)}).get();
+
+  release.set_value();
+  blocker.get();
+  stats_thread.join();
+  EXPECT_EQ(observed.tenants.at(t1).updates, 3u);
+  EXPECT_EQ(observed.tenants.at(t0).updates, 0u);
+}
+
 TEST(Service, ConcurrentMultiTenantStressWithVerify) {
   constexpr std::size_t kTenants = 8;
   bs::TempDir dir;

@@ -14,9 +14,23 @@
 //                                          <dir>, ~<ops> block ops total,
 //                                          concurrent replay + background
 //                                          maintenance, throughput report
+//   backlogctl snap <root> <tenant> [line]
+//                                          take + commit a snapshot of the
+//                                          tenant's line (default 0)
+//   backlogctl clone <root> <src> <dst> [line [version]]
+//                                          materialize a writable clone of
+//                                          src's snapshot as new tenant
+//                                          <dst> (default: latest snapshot
+//                                          of line 0)
+//   backlogctl migrate <root> <tenant> <target-shard> [shards]
+//                                          live-migrate the tenant between
+//                                          shards of a <shards>-wide service
+//                                          (a protocol demo: placement is
+//                                          hash-routed again on reopen)
 //
 // Note: opening a volume re-establishes the manifest base (one metadata
-// write); all other inspection is read-only (stress, of course, writes).
+// write); all other inspection is read-only (stress/snap/clone/migrate, of
+// course, write).
 #include <algorithm>
 #include <chrono>
 #include <cinttypes>
@@ -38,9 +52,21 @@ namespace {
 int usage() {
   std::fprintf(stderr,
                "usage: backlogctl <info|runs|query|raw|scan|maintain|dump-run|"
-               "stress> <volume-dir> [args]\n"
-               "       backlogctl stress <dir> <tenants> <ops> [shards]\n");
+               "stress|snap|clone|migrate> <dir> [args]\n"
+               "       backlogctl stress <dir> <tenants> <ops> [shards]\n"
+               "       backlogctl snap <root> <tenant> [line]\n"
+               "       backlogctl clone <root> <src> <dst> [line [version]]\n"
+               "       backlogctl migrate <root> <tenant> <target-shard> "
+               "[shards]\n");
   return 2;
+}
+
+service::ServiceOptions service_options(const char* root, std::size_t shards) {
+  service::ServiceOptions so;
+  so.shards = shards;
+  so.root = root;
+  so.sync_writes = true;  // a CLI mutation should be durable when it returns
+  return so;
 }
 
 void print_entry(const core::BackrefEntry& e) {
@@ -225,17 +251,93 @@ int cmd_stress(const char* dir, std::uint64_t tenants, std::uint64_t total_ops,
   return 0;
 }
 
+int cmd_snap(const char* root, const std::string& tenant, core::LineId line) {
+  service::VolumeManager vm(service_options(root, 1));
+  vm.open_volume(tenant);
+  const core::Epoch version = vm.take_snapshot(tenant, line).get();
+  std::printf("retained snapshot (line %" PRIu64 ", v%" PRIu64 ") of %s\n",
+              line, version, tenant.c_str());
+  vm.close_volume(tenant);
+  return 0;
+}
+
+int cmd_clone(const char* root, const std::string& src, const std::string& dst,
+              core::LineId line, std::uint64_t version_or_latest) {
+  service::VolumeManager vm(service_options(root, 1));
+  vm.open_volume(src);
+  core::Epoch version = version_or_latest;
+  if (version == 0) {  // default: the latest retained snapshot of the line
+    const auto versions = vm.list_versions(src, line).get();
+    if (versions.empty()) {
+      std::fprintf(stderr,
+                   "backlogctl: %s line %" PRIu64
+                   " has no retained snapshot (run `backlogctl snap` first)\n",
+                   src.c_str(), line);
+      return 1;
+    }
+    version = versions.back();
+  }
+  const core::LineId new_line = vm.clone_volume(src, dst, line, version);
+  std::printf("cloned %s snapshot (line %" PRIu64 ", v%" PRIu64
+              ") -> tenant %s, writable line %" PRIu64 "\n",
+              src.c_str(), line, version, dst.c_str(), new_line);
+  vm.close_volume(dst);
+  vm.close_volume(src);
+  return 0;
+}
+
+int cmd_migrate(const char* root, const std::string& tenant,
+                std::size_t target, std::size_t shards) {
+  service::VolumeManager vm(service_options(root, shards));
+  vm.open_volume(tenant);
+  const auto before = vm.quick_stats(tenant).get();
+  const service::MigrationStats ms = vm.migrate_volume(tenant, target);
+  if (!ms.moved) {
+    std::printf("%s already lives on shard %zu of %zu — nothing to do\n",
+                tenant.c_str(), ms.source_shard, shards);
+  } else {
+    std::printf("migrated %s: shard %zu -> %zu (%s, %zu racing ops replayed)\n",
+                tenant.c_str(), ms.source_shard, ms.target_shard,
+                ms.forced_cp ? "flushed a consistency point" : "write store empty",
+                ms.replayed_tasks);
+  }
+  const auto after = vm.quick_stats(tenant).get();
+  std::printf("write store: %" PRIu64 " -> %" PRIu64 " entries, run records: %"
+              PRIu64 " -> %" PRIu64 "\n",
+              before.ws_entries, after.ws_entries, before.run_records,
+              after.run_records);
+  vm.close_volume(tenant);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 3) return usage();
   const std::string cmd = argv[1];
-  if (cmd == "stress") {
-    if (argc < 5) return usage();
+  // Service-level commands take a service *root* (volumes live underneath).
+  if (cmd == "stress" || cmd == "snap" || cmd == "clone" || cmd == "migrate") {
     try {
-      return cmd_stress(argv[2], std::strtoull(argv[3], nullptr, 0),
-                        std::strtoull(argv[4], nullptr, 0),
-                        argc > 5 ? std::strtoull(argv[5], nullptr, 0) : 4);
+      if (cmd == "stress") {
+        if (argc < 5) return usage();
+        return cmd_stress(argv[2], std::strtoull(argv[3], nullptr, 0),
+                          std::strtoull(argv[4], nullptr, 0),
+                          argc > 5 ? std::strtoull(argv[5], nullptr, 0) : 4);
+      }
+      if (cmd == "snap") {
+        if (argc < 4) return usage();
+        return cmd_snap(argv[2], argv[3],
+                        argc > 4 ? std::strtoull(argv[4], nullptr, 0) : 0);
+      }
+      if (cmd == "clone") {
+        if (argc < 5) return usage();
+        return cmd_clone(argv[2], argv[3], argv[4],
+                         argc > 5 ? std::strtoull(argv[5], nullptr, 0) : 0,
+                         argc > 6 ? std::strtoull(argv[6], nullptr, 0) : 0);
+      }
+      if (argc < 5) return usage();
+      return cmd_migrate(argv[2], argv[3], std::strtoull(argv[4], nullptr, 0),
+                         argc > 5 ? std::strtoull(argv[5], nullptr, 0) : 4);
     } catch (const std::exception& e) {
       std::fprintf(stderr, "backlogctl: %s\n", e.what());
       return 1;
