@@ -12,7 +12,13 @@
 //   (c) migration churn at 4 shards / 16 tenants — a churn thread keeps
 //       live-migrating every volume around the shard ring while the
 //       workload runs, measuring what placement changes cost the p99 query
-//       latency (churn period 0 = the no-migration baseline).
+//       latency (churn period 0 = the no-migration baseline);
+//   (d) noisy neighbor at 1 shard — one hot tenant co-located with small
+//       victims, with and without a TenantQos on the hog: victim p99 query
+//       latency is the isolation metric;
+//   (e) balancer A/B at 4 shards — every volume forced onto shard 0, then
+//       the same workload with the Balancer off vs on: aggregate ops/s,
+//       p99, moves made and the final imbalance metric.
 //
 // Queries run interleaved with updates (1 per 64 ops) and background
 // maintenance is active throughout, so p99 query latency reflects
@@ -183,6 +189,139 @@ void header_row() {
               "migr");
 }
 
+// --- sweep (d): noisy neighbor ------------------------------------------------
+
+/// One hot tenant and `victims` small tenants on a single shard; when
+/// `qos_on`, the hog is rate-limited (generous wait queue: backpressure
+/// without rejections, so the replay completes). Returns via printf/JSONROW.
+void run_noisy_neighbor(std::uint64_t budget, bool qos_on) {
+  storage::TempDir dir("backlog_nn");
+  service::ServiceOptions so;
+  so.shards = 1;  // forced co-location: isolation must come from QoS alone
+  so.root = dir.path();
+  so.db_options.expected_ops_per_cp = 2000;
+  service::VolumeManager vm(so);
+
+  fsim::FleetOptions fo;
+  fo.tenants = 4;
+  fo.total_ops = budget;
+  fo.shape = fsim::FleetShape::kHotTenant;
+  fo.hot_share = 0.7;
+  fo.seed = 11;
+  fo.base.remove_fraction = 0.4;
+  auto workloads = fsim::synthesize_fleet(fo);
+  for (const auto& wl : workloads) vm.open_volume(wl.tenant);
+  const std::string hog = workloads[0].tenant;
+
+  if (qos_on) {
+    service::TenantQos qos;
+    qos.ops_per_sec = static_cast<double>(budget) / 4;  // ~halve the hog
+    qos.burst_ops = 2048;
+    qos.max_wait_queue = 1 << 20;
+    vm.set_qos(hog, qos);
+  }
+
+  fsim::ReplayOptions ro;
+  ro.batch_ops = 256;
+  ro.ops_per_cp = 2000;
+  ro.query_every_ops = 32;
+
+  const double t0 = bench::now_seconds();
+  const auto results = fsim::replay_concurrently(vm, workloads, ro);
+  const double wall = bench::now_seconds() - t0;
+
+  std::uint64_t total_ops = 0;
+  for (const auto& r : results) total_ops += r.ops;
+  const service::ServiceStats stats = vm.stats();
+  // Victim view: merge every tenant but the hog. Queue wait is the
+  // isolation metric — execution time is flat either way.
+  service::LatencyHistogram victim_q;
+  for (const auto& [name, ts] : stats.tenants) {
+    if (name != hog) victim_q.merge(ts.queue_wait_micros);
+  }
+  const std::uint64_t victim_p99 = victim_q.quantile_micros(0.99);
+  const std::uint64_t hog_p99 =
+      stats.tenants.at(hog).queue_wait_micros.quantile_micros(0.99);
+  std::printf("  qos=%d  ops/s %9.0f  victim p99 wait %6llu us  hog p99 wait "
+              "%6llu us  throttled %llu\n",
+              qos_on ? 1 : 0, wall > 0 ? total_ops / wall : 0,
+              static_cast<unsigned long long>(victim_p99),
+              static_cast<unsigned long long>(hog_p99),
+              static_cast<unsigned long long>(stats.total.throttle_queued));
+  bench::JsonRow()
+      .str("bench", "service_noisy_neighbor")
+      .num("qos", qos_on ? 1 : 0)
+      .num("total_ops", total_ops)
+      .num("wall_seconds", wall)
+      .num("ops_per_second", wall > 0 ? total_ops / wall : 0)
+      .num("victim_p99_wait_micros", victim_p99)
+      .num("hog_p99_wait_micros", hog_p99)
+      .num("throttle_queued", stats.total.throttle_queued)
+      .num("throttle_rejected", stats.total.throttle_rejected)
+      .print();
+}
+
+// --- sweep (e): balancer A/B --------------------------------------------------
+
+void run_balancer_ab(std::uint64_t budget, bool balancer_on) {
+  storage::TempDir dir("backlog_bal");
+  service::ServiceOptions so;
+  so.shards = 4;
+  so.root = dir.path();
+  so.db_options.expected_ops_per_cp = 2000;
+  service::VolumeManager vm(so);
+
+  fsim::FleetOptions fo;
+  fo.tenants = 12;
+  fo.total_ops = budget;
+  fo.seed = 23;
+  fo.base.remove_fraction = 0.4;
+  auto workloads = fsim::synthesize_fleet(fo);
+  for (const auto& wl : workloads) {
+    vm.open_volume(wl.tenant);
+    // Worst-case initial placement: everything on shard 0.
+    vm.migrate_volume(wl.tenant, 0);
+  }
+
+  service::BalancerPolicy bp;
+  bp.poll_interval = std::chrono::milliseconds(20);
+  bp.cooldown = std::chrono::milliseconds(200);
+  bp.max_moves_per_cycle = 2;
+  service::Balancer balancer(vm, bp);
+  if (balancer_on) balancer.start();
+
+  fsim::ReplayOptions ro;
+  ro.batch_ops = 256;
+  ro.ops_per_cp = 2000;
+  ro.query_every_ops = 64;
+
+  const double t0 = bench::now_seconds();
+  const auto results = fsim::replay_concurrently(vm, workloads, ro);
+  const double wall = bench::now_seconds() - t0;
+  balancer.stop();
+
+  std::uint64_t total_ops = 0;
+  for (const auto& r : results) total_ops += r.ops;
+  const service::ServiceStats stats = vm.stats();
+  const std::uint64_t p99 = stats.total.query_micros.quantile_micros(0.99);
+  std::printf("  balancer=%d  ops/s %9.0f  p99 %6llu us  moves %llu"
+              "  imbalance %.3f\n",
+              balancer_on ? 1 : 0, wall > 0 ? total_ops / wall : 0,
+              static_cast<unsigned long long>(p99),
+              static_cast<unsigned long long>(balancer.moves()),
+              balancer.last_imbalance());
+  bench::JsonRow()
+      .str("bench", "service_balancer_ab")
+      .num("balancer", balancer_on ? 1 : 0)
+      .num("total_ops", total_ops)
+      .num("wall_seconds", wall)
+      .num("ops_per_second", wall > 0 ? total_ops / wall : 0)
+      .num("p99_query_micros", p99)
+      .num("balancer_moves", balancer.moves())
+      .num("final_imbalance", balancer.last_imbalance())
+      .print();
+}
+
 }  // namespace
 
 int main() {
@@ -237,5 +376,16 @@ int main() {
                 static_cast<double>(p99_churn) /
                     static_cast<double>(p99_baseline));
   }
+
+  std::printf(
+      "\nsweep (d): noisy neighbor at 1 shard, hot tenant with/without QoS\n");
+  run_noisy_neighbor(budget / 4, /*qos_on=*/false);
+  run_noisy_neighbor(budget / 4, /*qos_on=*/true);
+
+  std::printf(
+      "\nsweep (e): balancer A/B at 4 shards, all volumes starting on shard "
+      "0\n");
+  run_balancer_ab(budget / 2, /*balancer_on=*/false);
+  run_balancer_ab(budget / 2, /*balancer_on=*/true);
   return 0;
 }

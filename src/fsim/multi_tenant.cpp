@@ -1,8 +1,10 @@
 #include "fsim/multi_tenant.hpp"
 
+#include <cstdio>
 #include <deque>
 #include <exception>
 #include <map>
+#include <stdexcept>
 #include <thread>
 
 #include "util/clock.hpp"
@@ -68,6 +70,41 @@ TenantTrace synthesize_tenant_trace(const TenantTraceOptions& options) {
   }
   trace.live_keys = std::move(live);
   return trace;
+}
+
+std::vector<TenantWorkload> synthesize_fleet(const FleetOptions& options) {
+  if (options.tenants == 0)
+    throw std::invalid_argument("synthesize_fleet: tenants must be > 0");
+  if (options.shape == FleetShape::kHotTenant &&
+      (options.hot_share <= 0 || options.hot_share >= 1)) {
+    throw std::invalid_argument("synthesize_fleet: hot_share must be in (0,1)");
+  }
+  std::vector<TenantWorkload> out;
+  out.reserve(options.tenants);
+  for (std::size_t i = 0; i < options.tenants; ++i) {
+    std::uint64_t ops = options.total_ops / options.tenants;
+    if (options.shape == FleetShape::kHotTenant) {
+      const double total = static_cast<double>(options.total_ops);
+      ops = i == 0 ? static_cast<std::uint64_t>(total * options.hot_share)
+                   : static_cast<std::uint64_t>(total *
+                                                (1.0 - options.hot_share)) /
+                         (options.tenants > 1 ? options.tenants - 1 : 1);
+    }
+    TenantTraceOptions to = options.base;
+    to.block_ops = std::max<std::uint64_t>(1, ops);
+    to.seed = options.seed * 1000003 + i;
+    char suffix[24];
+    std::snprintf(suffix, sizeof suffix, "%03zu", i);
+    TenantWorkload wl;
+    wl.tenant = options.name_prefix + suffix;
+    wl.trace = synthesize_tenant_trace(to);
+    if (options.shape == FleetShape::kBursty) {
+      wl.pause_every_ops = options.burst_ops;
+      wl.pause = options.burst_pause;
+    }
+    out.push_back(std::move(wl));
+  }
+  return out;
 }
 
 namespace {
@@ -143,12 +180,19 @@ TenantReplayResult replay_one(service::VolumeManager& vm,
           break;
         }
         case TraceEvent::Kind::kMigrate: {
-          // Rotate deterministically through the shards; one feeder per
-          // tenant, so per-volume migrations never overlap.
+          // Rotate deterministically through the shards. One feeder per
+          // tenant, so *trace* migrations never overlap — but an external
+          // placement actor (the Balancer) may have this volume's handoff
+          // in flight; losing that race skips the event, it doesn't fail
+          // the replay.
           const std::size_t target =
               (vm.current_shard(wl.tenant) + 1 + (migrate_round++ % 2)) %
               vm.shard_count();
-          if (vm.migrate_volume(wl.tenant, target).moved) ++r.migrations;
+          try {
+            if (vm.migrate_volume(wl.tenant, target).moved) ++r.migrations;
+          } catch (const std::logic_error&) {
+            ++r.migrations_skipped;
+          }
           break;
         }
       }
@@ -165,6 +209,12 @@ TenantReplayResult replay_one(service::VolumeManager& vm,
     }
     batch.push_back(op);
     if (batch.size() >= options.batch_ops) flush_batch();
+
+    if (wl.pause_every_ops != 0 && (i + 1) % wl.pause_every_ops == 0 &&
+        wl.pause.count() > 0) {
+      flush_batch();  // the burst's tail reaches the service before the idle
+      std::this_thread::sleep_for(wl.pause);
+    }
 
     ++ops_in_window;
     if (options.query_every_ops != 0 && last_added != 0 &&

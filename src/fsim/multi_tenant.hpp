@@ -20,6 +20,7 @@
 // and snapshot counts are precomputed for verification.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -93,21 +94,57 @@ struct TenantReplayResult {
   std::uint64_t snapshots = 0;            ///< take_snapshot verbs issued
   std::uint64_t clones = 0;               ///< lines branched
   std::uint64_t migrations = 0;           ///< completed live migrations
+  std::uint64_t migrations_skipped = 0;   ///< trace migrations lost to races
   double wall_seconds = 0;
 };
 
 struct TenantWorkload {
   std::string tenant;
   TenantTrace trace;
+  /// Burst pacing: after every `pause_every_ops` trace ops the feeder
+  /// sleeps for `pause` (0 = feed as fast as the service admits). Pacing
+  /// shapes arrival times only; the trace and its ground truth are
+  /// unchanged.
+  std::uint64_t pause_every_ops = 0;
+  std::chrono::microseconds pause{0};
 };
+
+/// Fleet shapes for multi-tenant scenarios. Every tenant's trace still
+/// carries its own exact ground truth (live_keys), whatever the shape.
+enum class FleetShape : std::uint8_t {
+  kUniform,    ///< every tenant gets total_ops / tenants
+  kHotTenant,  ///< tenant 0 gets hot_share of the budget (noisy neighbor)
+  kBursty,     ///< uniform budget, but feeders emit bursts separated by idle
+};
+
+struct FleetOptions {
+  std::size_t tenants = 8;
+  std::uint64_t total_ops = 80000;
+  FleetShape shape = FleetShape::kUniform;
+  /// kHotTenant: tenant 0's share of total_ops, in (0, 1).
+  double hot_share = 0.5;
+  /// kBursty: ops per burst and the idle gap between bursts.
+  std::uint64_t burst_ops = 512;
+  std::chrono::microseconds burst_pause{2000};
+  std::uint64_t seed = 1;
+  /// Trace knobs shared by every tenant (block_ops/seed are overridden).
+  TenantTraceOptions base{};
+  std::string name_prefix = "tenant-";
+};
+
+/// Synthesize one workload per tenant under the given shape; volume names
+/// are `<prefix>000`, `<prefix>001`, …
+std::vector<TenantWorkload> synthesize_fleet(const FleetOptions& options);
 
 /// Replays every workload concurrently (one feeder thread per tenant).
 /// Volumes must already be open. Backpressure: each feeder waits for its
 /// tenant's consistency-point future before starting the next CP window, so
 /// at most one CP window of work per tenant is in flight. Snapshot/clone/
-/// migrate events execute inline on the feeder (migrations are serialized
-/// per volume by construction — one feeder per tenant). Exceptions raised
-/// by any service future propagate out of this call.
+/// migrate events execute inline on the feeder; a trace migration that
+/// loses a race with another placement actor (e.g. a running Balancer has
+/// the volume's handoff in flight) is skipped and counted in
+/// migrations_skipped rather than failing the replay. Exceptions raised by
+/// any service future propagate out of this call.
 std::vector<TenantReplayResult> replay_concurrently(
     service::VolumeManager& vm, const std::vector<TenantWorkload>& workloads,
     const ReplayOptions& options = {});

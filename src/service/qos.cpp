@@ -1,0 +1,115 @@
+#include "service/qos.hpp"
+
+#include <cmath>
+
+namespace backlog::service {
+
+void validate_qos(const TenantQos& qos) {
+  const auto bad = [](double v) { return std::isnan(v) || v < 0; };
+  if (bad(qos.ops_per_sec) || bad(qos.bytes_per_sec))
+    throw std::invalid_argument("TenantQos: rates must be >= 0 (or unlimited)");
+  if (bad(qos.burst_ops) || bad(qos.burst_bytes) ||
+      !std::isfinite(qos.burst_ops) || !std::isfinite(qos.burst_bytes))
+    throw std::invalid_argument("TenantQos: bursts must be finite and >= 0");
+  if (qos.weight == 0)
+    throw std::invalid_argument("TenantQos: weight must be >= 1");
+  if (qos.max_wait_queue == 0)
+    throw std::invalid_argument("TenantQos: max_wait_queue must be >= 1");
+}
+
+void QosGate::configure(const TenantQos& qos, std::uint64_t now_micros) {
+  validate_qos(qos);
+  std::lock_guard lock(mu_);
+  enabled_ = true;
+  qos_ = qos;
+  ops_bucket_.reset(qos.ops_per_sec, qos.burst_ops, now_micros);
+  bytes_bucket_.reset(qos.bytes_per_sec, qos.burst_bytes, now_micros);
+  update_gated();
+}
+
+Admission QosGate::admit(double ops_cost, double bytes_cost,
+                         std::uint64_t now_micros,
+                         std::function<void()>&& release) {
+  std::lock_guard lock(mu_);
+  // FIFO: once anything waits, everything later waits behind it, even a
+  // zero-cost control verb — per-tenant submission order is the contract.
+  // (A gate found disabled here raced a clear(); its queue is empty, so it
+  // admits trivially.)
+  bool admitted = false;
+  if (waiters_.empty()) {
+    if (!enabled_) {
+      admitted = true;
+    } else if (ops_bucket_.try_consume(ops_cost, now_micros)) {
+      if (bytes_bucket_.try_consume(bytes_cost, now_micros)) {
+        admitted = true;
+      } else {
+        ops_bucket_.refund(ops_cost);  // the op is charged as one unit
+      }
+    }
+  }
+  if (admitted) {
+    admitted_.fetch_add(1, std::memory_order_relaxed);
+    release();
+    return Admission::kAdmitted;
+  }
+  if (waiters_.size() >= qos_.max_wait_queue) {
+    rejected_.fetch_add(1, std::memory_order_relaxed);
+    return Admission::kRejected;
+  }
+  waiters_.push_back({ops_cost, bytes_cost, std::move(release)});
+  queued_.fetch_add(1, std::memory_order_relaxed);
+  update_gated();
+  return Admission::kQueued;
+}
+
+void QosGate::drain(std::uint64_t now_micros) {
+  // Dispatch under the mutex: a racing admit() must observe either a
+  // non-empty wait queue or the released op already on its shard, never a
+  // window where it could jump ahead of a waiter (order inversion).
+  std::lock_guard lock(mu_);
+  while (!waiters_.empty()) {
+    Waiter& w = waiters_.front();
+    if (!ops_bucket_.try_consume(w.ops_cost, now_micros)) break;
+    if (!bytes_bucket_.try_consume(w.bytes_cost, now_micros)) {
+      // Put the ops tokens back: the op stays queued as one unit.
+      ops_bucket_.refund(w.ops_cost);
+      break;
+    }
+    std::function<void()> release = std::move(w.release);
+    waiters_.pop_front();
+    released_.fetch_add(1, std::memory_order_relaxed);
+    release();
+  }
+  update_gated();
+}
+
+void QosGate::clear(bool flush) {
+  std::lock_guard lock(mu_);
+  enabled_ = false;
+  if (flush) {
+    // Dispatch under the mutex, same lock-order story as drain(): a racing
+    // admit() sees either a waiter ahead of it or the op already enqueued.
+    while (!waiters_.empty()) {
+      std::function<void()> release = std::move(waiters_.front().release);
+      waiters_.pop_front();
+      released_.fetch_add(1, std::memory_order_relaxed);
+      release();
+    }
+  }
+  update_gated();
+}
+
+QosSnapshot QosGate::snapshot() const {
+  QosSnapshot s;
+  std::lock_guard lock(mu_);
+  s.enabled = enabled_;
+  s.qos = qos_;
+  s.admitted = admitted_.load(std::memory_order_relaxed);
+  s.queued = queued_.load(std::memory_order_relaxed);
+  s.released = released_.load(std::memory_order_relaxed);
+  s.rejected = rejected_.load(std::memory_order_relaxed);
+  s.wait_depth = waiters_.size();
+  return s;
+}
+
+}  // namespace backlog::service

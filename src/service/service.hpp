@@ -2,12 +2,16 @@
 //
 //   VolumeManager         — hosts N Backlog volumes on a sharded worker pool
 //   MaintenanceScheduler  — tenant-fair background compaction
+//   Balancer              — autonomous load-balancing placement
+//   TenantQos / QosGate   — per-tenant admission control + fair scheduling
 //   ServiceStats          — per-tenant latency histograms + I/O accounting
 //
 // See volume_manager.hpp for the threading model.
 #pragma once
 
+#include "service/balancer.hpp"
 #include "service/maintenance_scheduler.hpp"
+#include "service/qos.hpp"
 #include "service/service_stats.hpp"
 #include "service/shard_queue.hpp"
 #include "service/volume_manager.hpp"

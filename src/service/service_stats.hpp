@@ -89,10 +89,19 @@ struct TenantStats {
   std::uint64_t migrations = 0;          ///< completed shard handoffs
   std::uint64_t maintenance_runs = 0;
   std::uint64_t maintenance_skipped = 0; ///< bg probes below threshold / WS busy
+  // QoS admission counters (accumulated on API threads by the tenant's
+  // gate, stamped into the snapshot by stats()).
+  std::uint64_t throttle_queued = 0;     ///< ops that waited for tokens
+  std::uint64_t throttle_rejected = 0;   ///< ops refused with kThrottled
   LatencyHistogram update_batch_micros;
   LatencyHistogram cp_micros;
   LatencyHistogram query_micros;
   LatencyHistogram maintenance_micros;
+  /// Submission-to-execution delay of every foreground task — shard queue
+  /// time plus any QoS gate wait. The verb histograms above measure on-shard
+  /// execution only, so this is where a noisy neighbour (or a throttle)
+  /// becomes visible to monitoring.
+  LatencyHistogram queue_wait_micros;
   storage::IoStats io;                   ///< volume Env counters at snapshot
 
   void merge(const TenantStats& o) noexcept {
@@ -106,10 +115,13 @@ struct TenantStats {
     migrations += o.migrations;
     maintenance_runs += o.maintenance_runs;
     maintenance_skipped += o.maintenance_skipped;
+    throttle_queued += o.throttle_queued;
+    throttle_rejected += o.throttle_rejected;
     update_batch_micros.merge(o.update_batch_micros);
     cp_micros.merge(o.cp_micros);
     query_micros.merge(o.query_micros);
     maintenance_micros.merge(o.maintenance_micros);
+    queue_wait_micros.merge(o.queue_wait_micros);
     io.page_reads += o.io.page_reads;
     io.page_writes += o.io.page_writes;
     io.bytes_read += o.io.bytes_read;

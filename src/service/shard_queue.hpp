@@ -1,22 +1,38 @@
 // Per-shard task queue of the volume service's worker pool.
 //
-// Two priorities: foreground (updates, consistency points, queries) and
-// background (maintenance probes). Foreground work always runs first, but a
-// 1-in-N anti-starvation rule dispatches one background task after N
-// consecutive foreground tasks while background work is pending, so
-// compaction makes progress under sustained load without ever stalling the
-// foreground path for long. Producers are arbitrary API threads and the
-// MaintenanceScheduler; the single consumer is the shard's worker thread
-// (MPSC), which is what lets hosted BacklogDb instances stay lock-free.
-// During a tenant migration, tasks that race the handoff are parked at the
-// VolumeManager routing layer and replayed here in submission order — a
-// queue never sees two shards' worth of one tenant's work interleaved.
+// Foreground work is organized into *flows* (one flow per hosted volume)
+// scheduled by weighted stride scheduling: each flow carries a virtual pass
+// time advanced by 1/weight per dequeued task, and pop() always serves the
+// backlogged flow with the smallest pass. Within a flow tasks are strictly
+// FIFO — the service's per-tenant ordering guarantee — while across flows a
+// tenant with a thousand queued tasks shares the shard with a tenant that
+// has one: the weighted-fair half of per-tenant QoS (see qos.hpp; the other
+// half, token-bucket admission, runs before tasks ever reach this queue).
+// A flow that drains is forgotten; when it reappears it joins at the
+// current virtual time, so idling earns no credit and a returning flow
+// can't starve the shard.
+//
+// Background (maintenance) tasks stay in a single low-priority deque:
+// foreground work always runs first, but a 1-in-N anti-starvation rule
+// dispatches one background task after N consecutive foreground tasks while
+// background work is pending, so compaction makes progress under sustained
+// load without ever stalling the foreground path for long.
+//
+// Producers are arbitrary API threads and the MaintenanceScheduler; the
+// single consumer is the shard's worker thread (MPSC), which is what lets
+// hosted BacklogDb instances stay lock-free. During a tenant migration,
+// tasks that race the handoff are parked at the VolumeManager routing layer
+// and replayed here in submission order — a queue never sees two shards'
+// worth of one tenant's work interleaved.
 #pragma once
 
+#include <algorithm>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
+#include <map>
 #include <mutex>
 #include <utility>
 
@@ -31,10 +47,24 @@ class ShardQueue {
   explicit ShardQueue(std::size_t bg_starvation_limit = 8)
       : limit_(bg_starvation_limit == 0 ? 1 : bg_starvation_limit) {}
 
-  void push(Task t) {
+  /// Enqueue a foreground task on flow `flow` (0 = the shared default flow).
+  /// `weight` is the flow's current fair-share weight; the latest push wins,
+  /// so a QoS change applies from the next dequeue on.
+  void push(Task t, std::uint64_t flow = 0, std::uint32_t weight = 1) {
     {
       std::lock_guard lock(mu_);
-      fg_.push_back(std::move(t));
+      Flow& f = flows_[flow];
+      if (f.q.empty()) {
+        // A (re)joining flow keeps its old finish tag if the shard's
+        // virtual time hasn't caught up yet — a flow that just ran must
+        // not leapfrog a backlogged neighbour by briefly going empty (the
+        // sequential-caller ping-pong) — and otherwise starts at the
+        // current virtual time: no credit for idling.
+        f.pass = std::max(f.pass, virtual_time_);
+      }
+      f.weight = weight == 0 ? 1 : weight;
+      f.q.push_back(std::move(t));
+      ++fg_size_;
     }
     cv_.notify_one();
   }
@@ -51,19 +81,41 @@ class ShardQueue {
   /// the queue is closed *and* fully drained (pending tasks still run).
   Task pop() {
     std::unique_lock lock(mu_);
-    cv_.wait(lock, [&] { return closed_ || !fg_.empty() || !bg_.empty(); });
+    cv_.wait(lock, [&] { return closed_ || fg_size_ > 0 || !bg_.empty(); });
     const bool take_bg =
-        !bg_.empty() && (fg_.empty() || fg_since_bg_ >= limit_);
+        !bg_.empty() && (fg_size_ == 0 || fg_since_bg_ >= limit_);
     if (take_bg) {
       fg_since_bg_ = 0;
       Task t = std::move(bg_.front());
       bg_.pop_front();
       return t;
     }
-    if (!fg_.empty()) {
+    if (fg_size_ > 0) {
       ++fg_since_bg_;
-      Task t = std::move(fg_.front());
-      fg_.pop_front();
+      // Serve the backlogged flow with the smallest pass; ties go to the
+      // first flow in id order. Empty flows linger until virtual time
+      // passes their finish tag (see push) and are purged here. Linear
+      // scan: the map holds at most the volumes of one shard, typically a
+      // handful.
+      auto best = flows_.end();
+      for (auto it = flows_.begin(); it != flows_.end();) {
+        if (it->second.q.empty()) {
+          if (it->second.pass <= virtual_time_) {
+            it = flows_.erase(it);
+            continue;
+          }
+        } else if (best == flows_.end() ||
+                   it->second.pass < best->second.pass) {
+          best = it;
+        }
+        ++it;
+      }
+      Flow& f = best->second;
+      virtual_time_ = std::max(virtual_time_, f.pass);
+      f.pass += 1.0 / f.weight;
+      Task t = std::move(f.q.front());
+      f.q.pop_front();
+      --fg_size_;
       return t;
     }
     return {};  // closed and drained
@@ -77,10 +129,26 @@ class ShardQueue {
     cv_.notify_all();
   }
 
+  /// Pending tasks (foreground + background) — the balancer's queue-depth
+  /// load signal.
+  [[nodiscard]] std::size_t depth() const {
+    std::lock_guard lock(mu_);
+    return fg_size_ + bg_.size();
+  }
+
  private:
-  std::mutex mu_;
+  struct Flow {
+    std::deque<Task> q;
+    double pass = 0;
+    std::uint32_t weight = 1;
+  };
+
+  mutable std::mutex mu_;
   std::condition_variable cv_;
-  std::deque<Task> fg_, bg_;
+  std::map<std::uint64_t, Flow> flows_;  // only flows with queued work
+  std::deque<Task> bg_;
+  std::size_t fg_size_ = 0;
+  double virtual_time_ = 0;
   std::size_t fg_since_bg_ = 0;
   std::size_t limit_;
   bool closed_ = false;

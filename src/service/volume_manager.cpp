@@ -60,7 +60,92 @@ VolumeManager::VolumeManager(ServiceOptions options)
         "always serves queries through its cache)");
 }
 
-VolumeManager::~VolumeManager() = default;
+VolumeManager::~VolumeManager() {
+  // Stop the pacer first, then flush every gate: a throttled op still
+  // waiting for tokens must reach its shard (and its promise) before the
+  // pool drains — stranding promises at teardown would hang callers.
+  stop_pacer();
+  std::vector<std::shared_ptr<Volume>> vols;
+  {
+    std::lock_guard lock(mu_);
+    for (const auto& [name, vol] : volumes_) vols.push_back(vol);
+  }
+  for (const auto& vol : vols) vol->gate.clear();
+}
+
+void VolumeManager::ensure_pacer() {
+  std::lock_guard lock(pacer_mu_);
+  if (pacer_.joinable()) return;
+  pacer_ = std::thread([this] { pacer_loop(); });
+}
+
+void VolumeManager::stop_pacer() {
+  {
+    std::lock_guard lock(pacer_mu_);
+    pacer_stop_ = true;
+  }
+  pacer_cv_.notify_all();
+  if (pacer_.joinable()) pacer_.join();
+}
+
+void VolumeManager::pacer_loop() {
+  std::unique_lock lock(pacer_mu_);
+  while (!pacer_stop_) {
+    pacer_cv_.wait_for(lock, options_.qos_pacer_interval,
+                       [&] { return pacer_stop_; });
+    if (pacer_stop_) break;
+    lock.unlock();
+    std::vector<std::shared_ptr<Volume>> gated;
+    {
+      std::lock_guard l(mu_);
+      for (const auto& [name, vol] : volumes_) {
+        if (vol->gate.gated()) gated.push_back(vol);
+      }
+    }
+    const std::uint64_t now = now_micros();
+    for (const auto& vol : gated) vol->gate.drain(now);
+    lock.lock();
+  }
+}
+
+void VolumeManager::set_qos(const std::string& tenant, const TenantQos& qos) {
+  validate_qos(qos);
+  const std::shared_ptr<Volume> vol = find(tenant);
+  vol->gate.configure(qos, now_micros());
+  vol->qos_weight.store(qos.weight, std::memory_order_relaxed);
+  ensure_pacer();
+}
+
+void VolumeManager::clear_qos(const std::string& tenant) {
+  const std::shared_ptr<Volume> vol = find(tenant);
+  vol->gate.clear();
+  vol->qos_weight.store(1, std::memory_order_relaxed);
+}
+
+QosSnapshot VolumeManager::qos(const std::string& tenant) const {
+  return find(tenant)->gate.snapshot();
+}
+
+std::vector<VolumeManager::ShardLoad> VolumeManager::shard_loads() const {
+  std::vector<ShardLoad> out;
+  out.reserve(pool_.size());
+  for (std::size_t i = 0; i < pool_.size(); ++i) {
+    out.push_back({i, pool_.queue_depth(i), pool_.latency_ewma_micros(i)});
+  }
+  return out;
+}
+
+std::vector<VolumeManager::VolumePlacement> VolumeManager::placements() const {
+  std::vector<VolumePlacement> out;
+  std::lock_guard lock(mu_);
+  std::shared_lock rlock(routing_mu_);
+  out.reserve(volumes_.size());
+  for (const auto& [name, vol] : volumes_) {
+    out.push_back({name, vol->shard,
+                   vol->dispatched_ops.load(std::memory_order_relaxed)});
+  }
+  return out;
+}
 
 std::shared_ptr<VolumeManager::Volume> VolumeManager::find(
     const std::string& tenant) const {
@@ -93,6 +178,8 @@ std::size_t VolumeManager::current_shard(const std::string& tenant) const {
 void VolumeManager::dispatch(const std::shared_ptr<Volume>& vol, Task task,
                              bool background) {
   std::shared_lock lock(routing_mu_);
+  if (!background)
+    vol->dispatched_ops.fetch_add(1, std::memory_order_relaxed);
   if (vol->parked) {
     std::lock_guard pl(vol->park_mu);
     vol->parked_tasks.push_back({std::move(task), background});
@@ -101,7 +188,8 @@ void VolumeManager::dispatch(const std::shared_ptr<Volume>& vol, Task task,
   if (background) {
     pool_.submit_background(vol->shard, std::move(task));
   } else {
-    pool_.submit(vol->shard, std::move(task));
+    pool_.submit(vol->shard, std::move(task), vol->flow_id,
+                 vol->qos_weight.load(std::memory_order_relaxed));
   }
 }
 
@@ -142,6 +230,7 @@ void VolumeManager::open_volume(const std::string& tenant) {
   vol->tenant = tenant;
   vol->shard = shard_of(tenant);
   vol->stats.shard = vol->shard;
+  vol->flow_id = next_flow_id_.fetch_add(1, std::memory_order_relaxed);
   {
     std::lock_guard lock(mu_);
     if (!volumes_.emplace(tenant, vol).second)
@@ -187,6 +276,10 @@ void VolumeManager::close_volume(const std::string& tenant) {
     vol = it->second;
     volumes_.erase(it);  // no new operations route to it
   }
+  // Flush the QoS gate before queueing the teardown: throttled ops reach
+  // the shard (in order) ahead of the close, so their promises resolve
+  // against a still-open volume rather than stranding.
+  vol->gate.clear();
   run_on(vol,
          [](Volume& v) {
            // Commit anything still buffered, then tear down (persists the
@@ -212,19 +305,27 @@ void VolumeManager::close_volume(const std::string& tenant) {
 
 std::future<void> VolumeManager::apply(const std::string& tenant,
                                        std::vector<UpdateOp> batch) {
-  return run_on(find(tenant), [batch = std::move(batch)](Volume& v) {
-    const std::uint64_t t0 = now_micros();
-    for (const UpdateOp& op : batch) {
-      if (op.kind == UpdateOp::Kind::kAdd) {
-        v.db->add_reference(op.key);
-      } else {
-        v.db->remove_reference(op.key);
-      }
-    }
-    v.stats.updates += batch.size();
-    ++v.stats.batches;
-    v.stats.update_batch_micros.record(now_micros() - t0);
-  });
+  // QoS metering: a batch costs its op count against the ops bucket and an
+  // approximate encoded size (one From/To record per op) against the bytes
+  // bucket.
+  const double ops_cost = static_cast<double>(batch.size());
+  const double bytes_cost = ops_cost * core::kFromRecordSize;
+  return run_on(
+      find(tenant),
+      [batch = std::move(batch)](Volume& v) {
+        const std::uint64_t t0 = now_micros();
+        for (const UpdateOp& op : batch) {
+          if (op.kind == UpdateOp::Kind::kAdd) {
+            v.db->add_reference(op.key);
+          } else {
+            v.db->remove_reference(op.key);
+          }
+        }
+        v.stats.updates += batch.size();
+        ++v.stats.batches;
+        v.stats.update_batch_micros.record(now_micros() - t0);
+      },
+      /*background=*/false, ops_cost, bytes_cost);
 }
 
 std::future<core::CpFlushStats> VolumeManager::consistency_point(
@@ -309,6 +410,7 @@ core::LineId VolumeManager::clone_volume(const std::string& src_tenant,
   dst->tenant = dst_tenant;
   dst->shard = shard_of(dst_tenant);
   dst->stats.shard = dst->shard;
+  dst->flow_id = next_flow_id_.fetch_add(1, std::memory_order_relaxed);
   {
     std::lock_guard lock(mu_);
     if (!volumes_.emplace(dst_tenant, dst).second)
@@ -409,7 +511,8 @@ core::LineId VolumeManager::clone_volume(const std::string& src_tenant,
 }
 
 MigrationStats VolumeManager::migrate_volume(const std::string& tenant,
-                                             std::size_t target_shard) {
+                                             std::size_t target_shard,
+                                             bool require_clean) {
   if (target_shard >= pool_.size())
     throw std::invalid_argument("migrate_volume: no shard " +
                                 std::to_string(target_shard));
@@ -431,24 +534,34 @@ MigrationStats VolumeManager::migrate_volume(const std::string& tenant,
   }
 
   // Phase 2 — drain barrier on the source shard (submitted directly: run_on
-  // would park it). FIFO puts it behind all of the tenant's queued ops; it
-  // forces a consistency point when updates are buffered, so the handoff is
-  // also a durability point.
-  auto prom = std::make_shared<std::promise<bool>>();
-  std::future<bool> drained = prom->get_future();
-  pool_.submit(ms.source_shard, [vol, prom, target_shard] {
-    try {
-      bool forced = false;
-      if (vol->db != nullptr) {
-        forced = flush_buffered_cp(*vol);
-        ++vol->stats.migrations;
-        vol->stats.shard = target_shard;
-      }
-      prom->set_value(forced);
-    } catch (...) {
-      prom->set_exception(std::current_exception());
-    }
-  });
+  // would park it; the volume's own flow keeps it FIFO behind all of the
+  // tenant's queued ops). It forces a consistency point when updates are
+  // buffered, so the handoff is also a durability point — unless the caller
+  // asked for a clean-only move, where buffered updates abort the handoff
+  // instead (the Balancer's polite mode).
+  enum class Drain : std::uint8_t { kClean, kForcedCp, kDirtyAbort };
+  auto prom = std::make_shared<std::promise<Drain>>();
+  std::future<Drain> drained = prom->get_future();
+  pool_.submit(
+      ms.source_shard,
+      [vol, prom, target_shard, require_clean] {
+        try {
+          Drain result = Drain::kClean;
+          if (vol->db != nullptr) {
+            if (require_clean && vol->db->quick_stats().ws_entries != 0) {
+              result = Drain::kDirtyAbort;
+            } else {
+              if (flush_buffered_cp(*vol)) result = Drain::kForcedCp;
+              ++vol->stats.migrations;
+              vol->stats.shard = target_shard;
+            }
+          }
+          prom->set_value(result);
+        } catch (...) {
+          prom->set_exception(std::current_exception());
+        }
+      },
+      vol->flow_id, vol->qos_weight.load(std::memory_order_relaxed));
 
   // Replays the parked deque onto `shard` in original submission order.
   // Caller must hold routing_mu_ exclusively, so no new parkers interleave
@@ -460,18 +573,21 @@ MigrationStats VolumeManager::migrate_volume(const std::string& tenant,
       parked.swap(vol->parked_tasks);
     }
     ms.replayed_tasks = parked.size();
+    const std::uint32_t weight =
+        vol->qos_weight.load(std::memory_order_relaxed);
     for (ParkedTask& pt : parked) {
       if (pt.background) {
         pool_.submit_background(shard, std::move(pt.task));
       } else {
-        pool_.submit(shard, std::move(pt.task));
+        pool_.submit(shard, std::move(pt.task), vol->flow_id, weight);
       }
     }
     vol->parked = false;
   };
 
+  Drain drain_result;
   try {
-    ms.forced_cp = drained.get();
+    drain_result = drained.get();
   } catch (...) {
     // Drain failed (e.g. the forced CP threw): the volume stays put and the
     // racers replay on the source, still in order.
@@ -479,6 +595,15 @@ MigrationStats VolumeManager::migrate_volume(const std::string& tenant,
     replay(ms.source_shard);
     throw;
   }
+  if (drain_result == Drain::kDirtyAbort) {
+    // Clean-only move found buffered updates: unpark in place, no CP, no
+    // ownership change.
+    std::unique_lock lock(routing_mu_);
+    replay(ms.source_shard);
+    ms.aborted_dirty = true;
+    return ms;
+  }
+  ms.forced_cp = drain_result == Drain::kForcedCp;
 
   // Phase 3 — flip ownership and replay. The promise/queue handoff orders
   // the source thread's last writes before the target thread's first reads,
@@ -495,13 +620,16 @@ MigrationStats VolumeManager::migrate_volume(const std::string& tenant,
 std::future<std::vector<core::BackrefEntry>> VolumeManager::query(
     const std::string& tenant, core::BlockNo first, std::uint64_t count,
     core::QueryOptions opts) {
-  return run_on(find(tenant), [=](Volume& v) {
-    const std::uint64_t t0 = now_micros();
-    std::vector<core::BackrefEntry> r = v.db->query(first, count, opts);
-    ++v.stats.queries;
-    v.stats.query_micros.record(now_micros() - t0);
-    return r;
-  });
+  return run_on(
+      find(tenant),
+      [=](Volume& v) {
+        const std::uint64_t t0 = now_micros();
+        std::vector<core::BackrefEntry> r = v.db->query(first, count, opts);
+        ++v.stats.queries;
+        v.stats.query_micros.record(now_micros() - t0);
+        return r;
+      },
+      /*background=*/false, /*ops_cost=*/1);
 }
 
 std::future<std::vector<core::CombinedRecord>> VolumeManager::scan_all(
@@ -564,17 +692,23 @@ bool VolumeManager::schedule_maintenance(const std::string& tenant,
 }
 
 std::future<core::DbStats> VolumeManager::db_stats(const std::string& tenant) {
-  return run_on(find(tenant), [](Volume& v) { return v.db->stats(); });
+  return run_on(
+      find(tenant), [](Volume& v) { return v.db->stats(); },
+      /*background=*/false, 0, 0, /*bypass_gate=*/true);
 }
 
 std::future<core::QuickStats> VolumeManager::quick_stats(
     const std::string& tenant) {
-  return run_on(find(tenant), [](Volume& v) { return v.db->quick_stats(); });
+  return run_on(
+      find(tenant), [](Volume& v) { return v.db->quick_stats(); },
+      /*background=*/false, 0, 0, /*bypass_gate=*/true);
 }
 
 std::future<storage::IoStats> VolumeManager::io_stats(
     const std::string& tenant) {
-  return run_on(find(tenant), [](Volume& v) { return v.env->stats(); });
+  return run_on(
+      find(tenant), [](Volume& v) { return v.env->stats(); },
+      /*background=*/false, 0, 0, /*bypass_gate=*/true);
 }
 
 ServiceStats VolumeManager::stats() {
@@ -592,20 +726,29 @@ ServiceStats VolumeManager::stats() {
   }
   ServiceStats out;
   for (std::size_t shard = 0; shard < by_shard.size(); ++shard) {
-    std::vector<std::pair<std::string, std::future<TenantStats>>> futs;
+    std::vector<std::pair<std::shared_ptr<Volume>, std::future<TenantStats>>>
+        futs;
     futs.reserve(by_shard[shard].size());
     for (const auto& vol : by_shard[shard]) {
-      futs.emplace_back(vol->tenant, run_on(vol, [](Volume& v) {
-                          TenantStats ts = v.stats;
-                          ts.io = v.env->stats();
-                          return ts;
-                        }));
+      futs.emplace_back(vol, run_on(
+                                 vol,
+                                 [](Volume& v) {
+                                   TenantStats ts = v.stats;
+                                   ts.io = v.env->stats();
+                                   return ts;
+                                 },
+                                 /*background=*/false, 0, 0,
+                                 /*bypass_gate=*/true));
     }
-    for (auto& [name, fut] : futs) {
+    for (auto& [vol, fut] : futs) {
       try {
         TenantStats ts = fut.get();
+        // The QoS counters live on the API side of the gate, not on the
+        // shard thread; stamp them into the snapshot here.
+        ts.throttle_queued = vol->gate.throttled();
+        ts.throttle_rejected = vol->gate.rejected();
         out.total.merge(ts);
-        out.tenants.emplace(name, std::move(ts));
+        out.tenants.emplace(vol->tenant, std::move(ts));
       } catch (const std::logic_error&) {
         // Closed while the snapshot task was queued — skip it.
       }

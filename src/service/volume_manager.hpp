@@ -16,16 +16,21 @@
 // a brand-new, independently addressable tenant.
 //
 // Ordering guarantee: foreground operations for one tenant execute in
-// submission order — per-shard FIFO while the tenant is settled, and the
-// park/replay handoff of a migration preserves that order end to end.
-// Background maintenance runs at lower priority and only between foreground
-// tasks (see shard_queue.hpp), and it skips the volume whenever the write
-// store is non-empty — maintenance never interposes inside a tenant's CP
-// window.
+// submission order — per-flow FIFO while the tenant is settled (each volume
+// is its own weighted-fair flow in its shard's queue), and the park/replay
+// handoff of a migration preserves that order end to end. Per-tenant QoS
+// (set_qos) inserts a token-bucket gate *before* the queue: throttled ops
+// wait in a bounded per-volume FIFO drained by a pacer thread, and every
+// later op of that tenant — metered or not — queues behind them, so the
+// ordering guarantee survives throttling. Background maintenance runs at
+// lower priority and only between foreground tasks (see shard_queue.hpp),
+// and it skips the volume whenever the write store is non-empty —
+// maintenance never interposes inside a tenant's CP window.
 #pragma once
 
 #include <atomic>
 #include <chrono>
+#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <filesystem>
@@ -37,14 +42,17 @@
 #include <shared_mutex>
 #include <string>
 #include <string_view>
+#include <thread>
 #include <type_traits>
 #include <utility>
 #include <vector>
 
 #include "core/backlog_db.hpp"
+#include "service/qos.hpp"
 #include "service/service_stats.hpp"
 #include "service/worker_pool.hpp"
 #include "storage/env.hpp"
+#include "util/clock.hpp"
 #include "util/hash.hpp"
 
 namespace backlog::service {
@@ -67,6 +75,10 @@ struct ServiceOptions {
   /// Anti-starvation ratio of the per-shard queues: one background task may
   /// run after this many consecutive foreground tasks.
   std::size_t bg_starvation_limit = 8;
+
+  /// How often the QoS pacer re-checks throttled volumes' wait queues. The
+  /// pacer thread only exists once some volume has a QoS configured.
+  std::chrono::milliseconds qos_pacer_interval{1};
 };
 
 /// Thresholds steering background maintenance (see MaintenanceScheduler).
@@ -95,8 +107,13 @@ struct UpdateOp {
 struct MigrationStats {
   std::size_t source_shard = 0;
   std::size_t target_shard = 0;
-  /// False when the volume already lived on the target shard (no-op).
+  /// False when the volume already lived on the target shard (no-op) or a
+  /// require_clean move found buffered updates (aborted_dirty).
   bool moved = false;
+  /// True when require_clean aborted the handoff because the write store
+  /// was non-empty at the drain barrier; the volume stayed on its shard and
+  /// no consistency point was forced.
+  bool aborted_dirty = false;
   /// True when the drain flushed buffered updates as a consistency point.
   bool forced_cp = false;
   /// Operations that raced the move: parked during the handoff and replayed
@@ -209,8 +226,50 @@ class VolumeManager {
   /// anything submitted later. Per-tenant FIFO ordering is preserved end to
   /// end; other tenants never block. Blocks the caller (not the service).
   /// Throws std::logic_error if a migration of this volume is in flight.
+  ///
+  /// `require_clean`: abort instead of forcing a consistency point when the
+  /// drain finds buffered updates (MigrationStats::aborted_dirty; the
+  /// volume stays put, racers replay on the source in order). The Balancer
+  /// moves volumes this way — rebalancing must never impose a durability
+  /// point on a tenant mid-CP-window.
   MigrationStats migrate_volume(const std::string& tenant,
-                                std::size_t target_shard);
+                                std::size_t target_shard,
+                                bool require_clean = false);
+
+  // --- per-tenant QoS --------------------------------------------------------
+
+  /// Install (or replace) the tenant's QoS: token-bucket admission for
+  /// apply()/query() plus the weighted-fair share of its shard. Applies to
+  /// ops submitted after the call. Throws std::invalid_argument on
+  /// nonsensical settings.
+  void set_qos(const std::string& tenant, const TenantQos& qos);
+
+  /// Remove the tenant's QoS; ops already waiting are released immediately
+  /// (in order) and the weight returns to 1.
+  void clear_qos(const std::string& tenant);
+
+  /// Admission counters + configuration of the tenant's gate.
+  [[nodiscard]] QosSnapshot qos(const std::string& tenant) const;
+
+  // --- load signals (Balancer) -----------------------------------------------
+
+  /// One shard's instantaneous load signals.
+  struct ShardLoad {
+    std::size_t shard = 0;
+    std::size_t queue_depth = 0;           ///< pending tasks (fg + bg)
+    std::uint64_t latency_ewma_micros = 0; ///< EWMA of task execution time
+  };
+  [[nodiscard]] std::vector<ShardLoad> shard_loads() const;
+
+  /// Where every volume currently lives plus its cumulative dispatched
+  /// foreground-op count (monotonic; the Balancer differences successive
+  /// readings into a rate). One locked pass, no shard round-trips.
+  struct VolumePlacement {
+    std::string tenant;
+    std::size_t shard = 0;
+    std::uint64_t dispatched_ops = 0;
+  };
+  [[nodiscard]] std::vector<VolumePlacement> placements() const;
 
   // --- queries ---------------------------------------------------------------
 
@@ -275,6 +334,16 @@ class VolumeManager {
     bool parked = false;
     std::mutex park_mu;
     std::deque<ParkedTask> parked_tasks;
+    // Weighted-fair scheduling identity: one flow per volume, assigned at
+    // registration and stable across migrations. The weight mirrors the
+    // volume's TenantQos (1 when unconfigured).
+    std::uint64_t flow_id = 0;
+    std::atomic<std::uint32_t> qos_weight{1};
+    // Token-bucket admission gate (API-thread side; see qos.hpp).
+    QosGate gate;
+    // Foreground tasks handed to the pool for this volume (monotonic,
+    // incremented at dispatch) — the Balancer's per-volume rate signal.
+    std::atomic<std::uint64_t> dispatched_ops{0};
     // Created, used and destroyed only on the owning shard's thread.
     std::unique_ptr<storage::Env> env;
     std::unique_ptr<core::BacklogDb> db;
@@ -311,15 +380,32 @@ class VolumeManager {
   /// Run `fn(Volume&)` on the volume's shard; the future carries the result
   /// or the exception. Tasks capture the Volume by shared_ptr, so a volume
   /// outlives any task still referencing it even after close_volume().
+  ///
+  /// Foreground tasks pass through the volume's QoS gate: `ops_cost` /
+  /// `bytes_cost` are charged against the tenant's token buckets (0 for
+  /// control verbs, which still queue behind throttled ops to preserve
+  /// order). A rejected op's future carries ServiceError(kThrottled).
+  /// `bypass_gate` is for purely observational verbs (stats snapshots):
+  /// they carry no ordering promise, and waiting behind a fully throttled
+  /// tenant's queue would let one tenant stall fleet monitoring.
   template <typename Fn>
-  auto run_on(std::shared_ptr<Volume> vol, Fn fn, bool background = false)
+  auto run_on(std::shared_ptr<Volume> vol, Fn fn, bool background = false,
+              double ops_cost = 0, double bytes_cost = 0,
+              bool bypass_gate = false)
       -> std::future<std::invoke_result_t<Fn&, Volume&>> {
     using R = std::invoke_result_t<Fn&, Volume&>;
     auto prom = std::make_shared<std::promise<R>>();
     std::future<R> fut = prom->get_future();
-    std::function<void(Volume&)> body = [fn = std::move(fn),
-                                         prom](Volume& v) mutable {
+    // Foreground tasks stamp their submission time so the shard can record
+    // the queue wait (gate + shard queue) — the latency a client actually
+    // feels on top of execution. Background probes idle by design; their
+    // wait would only pollute the histogram.
+    const std::uint64_t t_submit = background ? 0 : util::now_micros();
+    std::function<void(Volume&)> body = [fn = std::move(fn), prom,
+                                         t_submit](Volume& v) mutable {
       try {
+        if (t_submit != 0)
+          v.stats.queue_wait_micros.record(util::now_micros() - t_submit);
         if (v.db == nullptr)
           throw std::logic_error("volume is closed: " + v.tenant);
         if constexpr (std::is_void_v<R>) {
@@ -332,9 +418,32 @@ class VolumeManager {
         prom->set_exception(std::current_exception());
       }
     };
-    submit_chasing(std::move(vol), std::move(body), background);
+    if (background || bypass_gate || !vol->gate.gated()) {
+      submit_chasing(std::move(vol), std::move(body), background);
+      return fut;
+    }
+    // Gated: the gate either runs the release thunk inline (admitted),
+    // keeps it for the pacer (queued), or drops it (rejected — fail the
+    // promise with the backpressure signal).
+    Volume* gate_vol = vol.get();
+    std::function<void()> release = [this, vol = std::move(vol),
+                                     body = std::move(body)]() mutable {
+      submit_chasing(std::move(vol), std::move(body), /*background=*/false);
+    };
+    if (gate_vol->gate.admit(ops_cost, bytes_cost, util::now_micros(),
+                             std::move(release)) == Admission::kRejected) {
+      prom->set_exception(std::make_exception_ptr(ServiceError(
+          ErrorCode::kThrottled,
+          "throttled: QoS wait queue full for " + gate_vol->tenant)));
+    }
     return fut;
   }
+
+  /// Lazily start / stop the QoS pacer thread (drains throttled volumes'
+  /// wait queues as tokens refill).
+  void ensure_pacer();
+  void stop_pacer();
+  void pacer_loop();
 
   ServiceOptions options_;
   mutable std::mutex mu_;  // guards volumes_ (name -> volume membership)
@@ -342,6 +451,11 @@ class VolumeManager {
   // The routing table lock: shared for every task submission, exclusive
   // only for the two brief writes of a migration handoff.
   mutable std::shared_mutex routing_mu_;
+  std::atomic<std::uint64_t> next_flow_id_{1};  // 0 = the shared default flow
+  std::mutex pacer_mu_;
+  std::condition_variable pacer_cv_;
+  bool pacer_stop_ = false;
+  std::thread pacer_;
   // Declared last: ~WorkerPool drains and joins before volumes_ goes away.
   WorkerPool pool_;
 };

@@ -1,5 +1,7 @@
 #include "service/worker_pool.hpp"
 
+#include "util/clock.hpp"
+
 namespace backlog::service {
 
 namespace {
@@ -17,7 +19,15 @@ WorkerPool::WorkerPool(std::size_t shards, std::size_t bg_starvation_limit) {
     // promise), so the drain loop itself never needs a try/catch.
     s->thread = std::thread([s, i] {
       tls_shard = i;
-      while (Task t = s->queue.pop()) t();
+      while (Task t = s->queue.pop()) {
+        const std::uint64_t t0 = util::now_micros();
+        t();
+        const std::uint64_t d = util::now_micros() - t0;
+        const std::uint64_t old =
+            s->ewma_micros.load(std::memory_order_relaxed);
+        s->ewma_micros.store(old == 0 ? d : (7 * old + d) / 8,
+                             std::memory_order_relaxed);
+      }
     });
   }
 }

@@ -7,9 +7,16 @@
 // between shards at runtime via VolumeManager::migrate_volume(), whose
 // drain/replay handoff guarantees the old and new owner never touch the
 // volume concurrently.
+//
+// Each shard additionally maintains two cheap load signals for the
+// Balancer: its queue depth (pending tasks) and an EWMA of task execution
+// time, updated by the worker thread after every task (alpha = 1/8, relaxed
+// atomics — the balancer only needs a trend, not a fence).
 #pragma once
 
+#include <atomic>
 #include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <thread>
 #include <vector>
@@ -38,16 +45,32 @@ class WorkerPool {
   /// low-priority queue past a migration's foreground drain barrier.
   [[nodiscard]] static std::size_t current_shard() noexcept;
 
-  void submit(std::size_t shard, Task t) {
-    shards_[shard]->queue.push(std::move(t));
+  /// `flow`/`weight`: the weighted-fair scheduling identity of the task
+  /// (one flow per volume; see shard_queue.hpp).
+  void submit(std::size_t shard, Task t, std::uint64_t flow = 0,
+              std::uint32_t weight = 1) {
+    shards_[shard]->queue.push(std::move(t), flow, weight);
   }
   void submit_background(std::size_t shard, Task t) {
     shards_[shard]->queue.push_background(std::move(t));
   }
 
+  // --- load signals (Balancer) -----------------------------------------------
+
+  [[nodiscard]] std::size_t queue_depth(std::size_t shard) const {
+    return shards_[shard]->queue.depth();
+  }
+
+  /// EWMA of this shard's task execution time in microseconds (0 until the
+  /// shard has run its first task).
+  [[nodiscard]] std::uint64_t latency_ewma_micros(std::size_t shard) const {
+    return shards_[shard]->ewma_micros.load(std::memory_order_relaxed);
+  }
+
  private:
   struct Shard {
     ShardQueue queue;
+    std::atomic<std::uint64_t> ewma_micros{0};
     std::thread thread;
 
     explicit Shard(std::size_t bg_starvation_limit)

@@ -245,8 +245,10 @@ bool BTree::put(std::span<const std::uint8_t> key,
     const std::uint16_t idx =
         leaf_lower_bound(p, count, key, key_size_, leaf_slot_size(), &found);
     if (found) {
-      std::memcpy(p + kHeaderSize + idx * leaf_slot_size() + key_size_,
-                  value.data(), value_size_);
+      if (value_size_ != 0) {  // a zero-size value has a null span
+        std::memcpy(p + kHeaderSize + idx * leaf_slot_size() + key_size_,
+                    value.data(), value_size_);
+      }
       frame->dirty = true;
       return false;
     }
@@ -256,8 +258,10 @@ bool BTree::put(std::span<const std::uint8_t> key,
                    slot0 + idx * leaf_slot_size(),
                    (count - idx) * leaf_slot_size());
       std::memcpy(slot0 + idx * leaf_slot_size(), key.data(), key_size_);
-      std::memcpy(slot0 + idx * leaf_slot_size() + key_size_, value.data(),
-                  value_size_);
+      if (value_size_ != 0) {  // a zero-size value has a null span
+        std::memcpy(slot0 + idx * leaf_slot_size() + key_size_, value.data(),
+                    value_size_);
+      }
       set_page_count(p, static_cast<std::uint16_t>(count + 1));
       frame->dirty = true;
       ++record_count_;

@@ -19,6 +19,14 @@
 // Maintenance may purge records at any point; masked query results are
 // invariant under purging (that is the purge rule's correctness criterion),
 // so the cross-check holds regardless of when compaction runs.
+//
+// A Balancer runs underneath the whole checker: autonomous clean-only
+// migrations may relocate any volume at any moment. They must be completely
+// invisible to the model — they never force a consistency point (so the CP
+// lockstep holds) and never perturb a masked query. The driver's own
+// migrate actions can now lose a race with the balancer's handoffs; they
+// skip (and so does the balancer when it loses), which is the production
+// contract between two placement actors.
 #include <gtest/gtest.h>
 
 #include <algorithm>
@@ -254,6 +262,16 @@ TEST_P(ServiceVersions, RandomizedVerbsMatchNaiveModel) {
   so.sync_writes = false;
   bsvc::VolumeManager vm(so);
 
+  // The autonomous rebalancer races every verb below. Clean-only moves
+  // (its only mode) keep the naive model's CP lockstep intact.
+  bsvc::BalancerPolicy bp;
+  bp.poll_interval = std::chrono::milliseconds(2);
+  bp.cooldown = std::chrono::milliseconds(20);
+  bp.max_moves_per_cycle = 2;
+  bp.min_load_to_act = 4;
+  bsvc::Balancer balancer(vm, bp);
+  balancer.start();
+
   std::vector<std::string> tenants;
   std::map<std::string, std::unique_ptr<Model>> models;
   for (std::size_t i = 0; i < kRootVolumes; ++i) {
@@ -400,12 +418,19 @@ TEST_P(ServiceVersions, RandomizedVerbsMatchNaiveModel) {
         ++want_deletes;
       }
     } else if (roll < 75) {
-      // Live migration; the conditional drain CP is mirrored exactly.
+      // Live migration; the conditional drain CP is mirrored exactly. The
+      // balancer may hold this volume's handoff right now — skip, exactly
+      // as a production placement actor would.
       const bool had_pending = m.ws_nonempty();
-      const auto ms = vm.migrate_volume(t, rng.below(kShards));
-      ASSERT_EQ(ms.forced_cp, ms.moved && had_pending) << "seed " << GetParam();
-      if (ms.forced_cp) model_cp(m);
-      if (ms.moved) ++want_migrations;
+      try {
+        const auto ms = vm.migrate_volume(t, rng.below(kShards));
+        ASSERT_EQ(ms.forced_cp, ms.moved && had_pending)
+            << "seed " << GetParam();
+        if (ms.forced_cp) model_cp(m);
+        if (ms.moved) ++want_migrations;
+      } catch (const std::logic_error&) {
+        // Lost the race to the balancer's in-flight handoff.
+      }
     } else if (roll < 79) {
       // Foreground maintenance: masked queries must be purge-invariant.
       vm.consistency_point(t).get();
@@ -441,6 +466,10 @@ TEST_P(ServiceVersions, RandomizedVerbsMatchNaiveModel) {
     }
   }
 
+  // Freeze placement (join the balancer) so the final accounting below is
+  // stable; the moves it made stay counted in the per-tenant stats.
+  balancer.stop();
+
   // Final sweep: flush every volume and cross-check every block it ever
   // touched ("every query result", not a sample).
   ASSERT_GE(tenants.size(), kRootVolumes);
@@ -454,11 +483,12 @@ TEST_P(ServiceVersions, RandomizedVerbsMatchNaiveModel) {
     }
   }
 
-  // Verb accounting survived migrations and clones.
+  // Verb accounting survived migrations and clones; shard handoffs are the
+  // driver's plus exactly the balancer's.
   const bsvc::ServiceStats stats = vm.stats();
   EXPECT_EQ(stats.tenants.size(), tenants.size());
   EXPECT_EQ(stats.total.snapshots, want_snapshots);
   EXPECT_EQ(stats.total.clones, want_clones);
   EXPECT_EQ(stats.total.snapshot_deletes, want_deletes);
-  EXPECT_EQ(stats.total.migrations, want_migrations);
+  EXPECT_EQ(stats.total.migrations, want_migrations + balancer.moves());
 }

@@ -27,15 +27,34 @@
 //                                          shards of a <shards>-wide service
 //                                          (a protocol demo: placement is
 //                                          hash-routed again on reopen)
+//   backlogctl qos <root> <tenant> <ops-per-sec> <bytes-per-sec> [ops]
+//                                          drive [ops] single-op updates
+//                                          through the tenant under that
+//                                          TenantQos (0 = unlimited) and
+//                                          report admission counters +
+//                                          effective throughput
+//   backlogctl balance <root> <shards> [cycles]
+//                                          open every volume under <root>,
+//                                          pulse a synthetic load and run
+//                                          the autonomous balancer for
+//                                          [cycles] cycles; print the moves
+//                                          and final placement
+//
+// Malformed invocations (wrong arity, non-numeric or out-of-range
+// arguments) print usage and exit 2; runtime failures exit 1.
 //
 // Note: opening a volume re-establishes the manifest base (one metadata
-// write); all other inspection is read-only (stress/snap/clone/migrate, of
-// course, write).
+// write); all other inspection is read-only (stress/snap/clone/migrate/
+// qos/balance, of course, write).
 #include <algorithm>
+#include <cerrno>
 #include <chrono>
 #include <cinttypes>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <filesystem>
+#include <future>
 #include <string>
 #include <vector>
 
@@ -52,13 +71,34 @@ namespace {
 int usage() {
   std::fprintf(stderr,
                "usage: backlogctl <info|runs|query|raw|scan|maintain|dump-run|"
-               "stress|snap|clone|migrate> <dir> [args]\n"
+               "stress|snap|clone|migrate|qos|balance> <dir> [args]\n"
+               "       backlogctl query|raw <dir> <block> [count]\n"
+               "       backlogctl dump-run <dir> <file>\n"
                "       backlogctl stress <dir> <tenants> <ops> [shards]\n"
                "       backlogctl snap <root> <tenant> [line]\n"
                "       backlogctl clone <root> <src> <dst> [line [version]]\n"
                "       backlogctl migrate <root> <tenant> <target-shard> "
-               "[shards]\n");
+               "[shards]\n"
+               "       backlogctl qos <root> <tenant> <ops-per-sec> "
+               "<bytes-per-sec> [ops]\n"
+               "       backlogctl balance <root> <shards> [cycles]\n");
   return 2;
+}
+
+/// Strict numeric parse: the whole argument must be a decimal/hex number in
+/// [min, max]. Malformed arguments are a usage error, not silently 0 (which
+/// strtoull alone would give for "abc").
+bool parse_u64(const char* arg, std::uint64_t& out,
+               std::uint64_t min_value = 0,
+               std::uint64_t max_value = UINT64_MAX) {
+  if (arg == nullptr || *arg == '\0' || *arg == '-') return false;
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(arg, &end, 0);
+  if (errno != 0 || end == arg || *end != '\0') return false;
+  if (v < min_value || v > max_value) return false;
+  out = v;
+  return true;
 }
 
 service::ServiceOptions service_options(const char* root, std::size_t shards) {
@@ -286,6 +326,132 @@ int cmd_clone(const char* root, const std::string& src, const std::string& dst,
   return 0;
 }
 
+int cmd_qos(const char* root, const std::string& tenant,
+            std::uint64_t ops_per_sec, std::uint64_t bytes_per_sec,
+            std::uint64_t ops) {
+  service::VolumeManager vm(service_options(root, 1));
+  vm.open_volume(tenant);
+
+  service::TenantQos qos;
+  qos.ops_per_sec = ops_per_sec == 0 ? service::kUnlimitedRate
+                                     : static_cast<double>(ops_per_sec);
+  qos.bytes_per_sec = bytes_per_sec == 0 ? service::kUnlimitedRate
+                                         : static_cast<double>(bytes_per_sec);
+  qos.burst_ops = 256;
+  qos.burst_bytes = 1 << 20;
+  qos.max_wait_queue = 1 << 16;
+  vm.set_qos(tenant, qos);
+  std::printf("qos on %s: %s ops/s, %s bytes/s (burst %g ops / %g bytes)\n",
+              tenant.c_str(),
+              ops_per_sec == 0 ? "unlimited" : std::to_string(ops_per_sec).c_str(),
+              bytes_per_sec == 0 ? "unlimited" : std::to_string(bytes_per_sec).c_str(),
+              qos.burst_ops, qos.burst_bytes);
+
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<std::future<void>> futs;
+  futs.reserve(ops);
+  for (std::uint64_t i = 0; i < ops; ++i) {
+    service::UpdateOp op;
+    op.kind = service::UpdateOp::Kind::kAdd;
+    op.key.block = 1 + i;
+    op.key.inode = 2;
+    op.key.length = 1;
+    futs.push_back(vm.apply(tenant, {op}));
+  }
+  std::uint64_t rejected = 0;
+  for (auto& f : futs) {
+    try {
+      f.get();
+    } catch (const service::ServiceError&) {
+      ++rejected;
+    }
+  }
+  vm.consistency_point(tenant).get();
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+
+  const service::QosSnapshot snap = vm.qos(tenant);
+  std::printf("drove %" PRIu64 " ops in %.2f s (%.0f ops/s effective)\n", ops,
+              wall, wall > 0 ? static_cast<double>(ops - rejected) / wall : 0);
+  std::printf("admission: %" PRIu64 " direct, %" PRIu64 " waited, %" PRIu64
+              " released, %" PRIu64 " rejected (kThrottled)\n",
+              snap.admitted, snap.queued, snap.released, snap.rejected);
+  vm.close_volume(tenant);
+  return 0;
+}
+
+int cmd_balance(const char* root, std::size_t shards, std::uint64_t cycles) {
+  // Every directory under the root is a volume.
+  std::vector<std::string> tenants;
+  for (const auto& e : std::filesystem::directory_iterator(root)) {
+    if (e.is_directory()) tenants.push_back(e.path().filename().string());
+  }
+  if (tenants.empty()) {
+    std::fprintf(stderr, "backlogctl: no volumes under %s\n", root);
+    return 1;
+  }
+  std::sort(tenants.begin(), tenants.end());
+
+  service::ServiceOptions so = service_options(root, shards);
+  so.sync_writes = false;  // the pulse below annihilates in the write store
+  service::VolumeManager vm(so);
+  for (const auto& t : tenants) vm.open_volume(t);
+
+  service::BalancerPolicy bp;
+  bp.latency_weighted = false;
+  bp.cooldown = std::chrono::milliseconds(0);
+  bp.min_load_to_act = 1;
+  bp.max_moves_per_cycle = 2;
+  service::Balancer balancer(vm, bp);
+
+  std::printf("%zu volumes on %zu shards; %" PRIu64 " balancer cycles\n",
+              tenants.size(), shards, cycles);
+  // Synthetic pulse: per volume, add+remove of a fresh key annihilates in
+  // the write store, so the load is real but the volume is left unchanged.
+  core::BlockNo probe = 1ull << 40;
+  for (std::uint64_t c = 0; c <= cycles; ++c) {
+    std::vector<std::future<void>> futs;
+    for (const auto& t : tenants) {
+      for (int i = 0; i < 16; ++i) {
+        service::UpdateOp a;
+        a.kind = service::UpdateOp::Kind::kAdd;
+        a.key.block = probe++;
+        a.key.inode = 2;
+        a.key.length = 1;
+        service::UpdateOp r = a;
+        r.kind = service::UpdateOp::Kind::kRemove;
+        futs.push_back(vm.apply(t, {a, r}));
+      }
+    }
+    for (auto& f : futs) f.get();
+    if (c == 0) {
+      balancer.run_once();  // first sighting primes the rate counters
+      continue;
+    }
+    const auto moves = balancer.run_once();
+    for (const auto& m : moves) {
+      std::printf("cycle %" PRIu64 ": moved %s shard %zu -> %zu "
+                  "(imbalance %.3f -> %.3f)\n",
+                  c, m.tenant.c_str(), m.from_shard, m.to_shard,
+                  m.imbalance_before, m.imbalance_after);
+    }
+    if (moves.empty()) {
+      std::printf("cycle %" PRIu64 ": balanced (imbalance %.3f)\n", c,
+                  balancer.last_imbalance());
+    }
+  }
+
+  std::printf("%-20s %6s\n", "tenant", "shard");
+  for (const auto& p : vm.placements()) {
+    std::printf("%-20s %6zu\n", p.tenant.c_str(), p.shard);
+  }
+  std::printf("moves: %" PRIu64 ", final imbalance %.3f\n", balancer.moves(),
+              balancer.last_imbalance());
+  for (const auto& t : tenants) vm.close_volume(t);
+  return 0;
+}
+
 int cmd_migrate(const char* root, const std::string& tenant,
                 std::size_t target, std::size_t shards) {
   service::VolumeManager vm(service_options(root, shards));
@@ -316,53 +482,92 @@ int main(int argc, char** argv) {
   if (argc < 3) return usage();
   const std::string cmd = argv[1];
   // Service-level commands take a service *root* (volumes live underneath).
-  if (cmd == "stress" || cmd == "snap" || cmd == "clone" || cmd == "migrate") {
+  // Arity and argument ranges are validated up front: a malformed
+  // invocation is a usage error (exit 2), never a half-parsed run.
+  if (cmd == "stress" || cmd == "snap" || cmd == "clone" || cmd == "migrate" ||
+      cmd == "qos" || cmd == "balance") {
     try {
       if (cmd == "stress") {
-        if (argc < 5) return usage();
-        return cmd_stress(argv[2], std::strtoull(argv[3], nullptr, 0),
-                          std::strtoull(argv[4], nullptr, 0),
-                          argc > 5 ? std::strtoull(argv[5], nullptr, 0) : 4);
+        std::uint64_t tenants = 0, ops = 0, shards = 4;
+        if (argc < 5 || argc > 6 ||
+            !parse_u64(argv[3], tenants, 1, 1 << 16) ||
+            !parse_u64(argv[4], ops, 1) ||
+            (argc > 5 && !parse_u64(argv[5], shards, 1, 1024))) {
+          return usage();
+        }
+        return cmd_stress(argv[2], tenants, ops, shards);
       }
       if (cmd == "snap") {
-        if (argc < 4) return usage();
-        return cmd_snap(argv[2], argv[3],
-                        argc > 4 ? std::strtoull(argv[4], nullptr, 0) : 0);
+        std::uint64_t line = 0;
+        if (argc < 4 || argc > 5 || (argc > 4 && !parse_u64(argv[4], line)))
+          return usage();
+        return cmd_snap(argv[2], argv[3], line);
       }
       if (cmd == "clone") {
-        if (argc < 5) return usage();
-        return cmd_clone(argv[2], argv[3], argv[4],
-                         argc > 5 ? std::strtoull(argv[5], nullptr, 0) : 0,
-                         argc > 6 ? std::strtoull(argv[6], nullptr, 0) : 0);
+        std::uint64_t line = 0, version = 0;
+        if (argc < 5 || argc > 7 || (argc > 5 && !parse_u64(argv[5], line)) ||
+            (argc > 6 && !parse_u64(argv[6], version))) {
+          return usage();
+        }
+        return cmd_clone(argv[2], argv[3], argv[4], line, version);
       }
-      if (argc < 5) return usage();
-      return cmd_migrate(argv[2], argv[3], std::strtoull(argv[4], nullptr, 0),
-                         argc > 5 ? std::strtoull(argv[5], nullptr, 0) : 4);
+      if (cmd == "qos") {
+        std::uint64_t ops_rate = 0, bytes_rate = 0, ops = 2000;
+        if (argc < 6 || argc > 7 || !parse_u64(argv[4], ops_rate) ||
+            !parse_u64(argv[5], bytes_rate) ||
+            (argc > 6 && !parse_u64(argv[6], ops, 1))) {
+          return usage();
+        }
+        return cmd_qos(argv[2], argv[3], ops_rate, bytes_rate, ops);
+      }
+      if (cmd == "balance") {
+        std::uint64_t shards = 0, cycles = 3;
+        if (argc < 4 || argc > 5 || !parse_u64(argv[3], shards, 1, 1024) ||
+            (argc > 4 && !parse_u64(argv[4], cycles, 1, 1 << 20))) {
+          return usage();
+        }
+        return cmd_balance(argv[2], shards, cycles);
+      }
+      std::uint64_t target = 0, shards = 4;
+      if (argc < 5 || argc > 6 || !parse_u64(argv[4], target) ||
+          (argc > 5 && !parse_u64(argv[5], shards, 1, 1024)) ||
+          target >= shards) {
+        return usage();
+      }
+      return cmd_migrate(argv[2], argv[3], target, shards);
     } catch (const std::exception& e) {
       std::fprintf(stderr, "backlogctl: %s\n", e.what());
       return 1;
     }
   }
-  storage::Env env(argv[2]);
+  const bool known_volume_cmd = cmd == "info" || cmd == "runs" ||
+                                cmd == "scan" || cmd == "maintain" ||
+                                cmd == "query" || cmd == "raw" ||
+                                cmd == "dump-run";
+  if (!known_volume_cmd) return usage();
+  // Validate arguments before touching the volume (Env creation writes).
+  std::uint64_t block = 0, count = 1;
+  if (cmd == "query" || cmd == "raw") {
+    if (argc < 4 || argc > 5 || !parse_u64(argv[3], block) ||
+        (argc > 4 && !parse_u64(argv[4], count, 1))) {
+      return usage();
+    }
+  } else if (cmd == "dump-run") {
+    if (argc != 4) return usage();
+  } else if (argc != 3) {
+    return usage();
+  }
   try {
+    storage::Env env(argv[2]);
     if (cmd == "info") return cmd_info(env);
     if (cmd == "runs") return cmd_runs(env);
     if (cmd == "scan") return cmd_scan(env);
     if (cmd == "maintain") return cmd_maintain(env);
-    if (cmd == "query" || cmd == "raw") {
-      if (argc < 4) return usage();
-      const core::BlockNo block = std::strtoull(argv[3], nullptr, 0);
-      const std::uint64_t count =
-          argc > 4 ? std::strtoull(argv[4], nullptr, 0) : 1;
+    if (cmd == "query" || cmd == "raw")
       return cmd_query(env, block, count, cmd == "raw");
-    }
-    if (cmd == "dump-run") {
-      if (argc < 4) return usage();
-      return cmd_dump_run(env, argv[3]);
-    }
+    return cmd_dump_run(env, argv[3]);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "backlogctl: %s\n", e.what());
     return 1;
   }
-  return usage();
 }

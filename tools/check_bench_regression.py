@@ -1,0 +1,139 @@
+#!/usr/bin/env python3
+"""Bench-regression gate for the service_throughput JSONROW output.
+
+Compares a fresh run's rows against the checked-in baseline
+(BENCH_baseline.json, one JSON object per line) and fails when throughput
+regressed by more than the threshold at equal configuration (same bench,
+shard count, tenant count, churn period, qos / balancer flag).
+
+CI machines differ wildly in absolute speed, so by default throughput is
+compared *normalized*: each service_throughput row's ops_per_second is
+divided by that run's 1-shard/16-tenant row, making the gate a check on the
+scaling shape (a >25% drop of the 4-shard speedup at equal shard count is a
+real regression, a slower runner is not). Set --absolute to compare raw
+ops/s instead (useful on a pinned benchmarking host).
+
+Exit codes: 0 ok, 1 regression found, 2 bad invocation/inputs.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_rows(path):
+    """Accepts either pure JSONL or a full bench transcript: when any
+    'JSONROW ' lines are present only those are parsed, so the raw tee'd
+    output works directly."""
+    with open(path, "r", encoding="utf-8") as fh:
+        lines = [line.strip() for line in fh if line.strip()]
+    tagged = [l[len("JSONROW "):] for l in lines if l.startswith("JSONROW ")]
+    candidates = tagged if tagged else lines
+    rows = []
+    for line in candidates:
+        try:
+            rows.append(json.loads(line))
+        except json.JSONDecodeError as exc:
+            sys.exit(f"error: {path}: unparsable row: {line!r} ({exc})")
+    if not rows:
+        sys.exit(f"error: {path}: no JSONROW rows")
+    return rows
+
+
+KEY_FIELDS = ("bench", "shards", "tenants", "churn_period_ms", "qos",
+              "balancer")
+
+
+def keyed_rows(rows):
+    """(key, row) pairs where the key carries an occurrence index: several
+    sweeps emit the same configuration (e.g. the 4-shard/16-tenant row
+    appears in sweeps a, b and c), and the bench emits them in a fixed
+    order, so the i-th occurrence of a config always lines up with the
+    i-th occurrence in the baseline."""
+    seen = {}
+    out = []
+    for row in rows:
+        if "ops_per_second" not in row:
+            continue
+        base = tuple(row.get(f) for f in KEY_FIELDS)
+        idx = seen.get(base, 0)
+        seen[base] = idx + 1
+        out.append((base + (idx,), row))
+    return out
+
+
+def reference_ops(rows):
+    """ops_per_second of the 1-shard/16-tenant sweep-(a) row."""
+    for row in rows:
+        if (row.get("bench") == "service_throughput"
+                and row.get("shards") == 1 and row.get("churn_period_ms") == 0):
+            return row["ops_per_second"]
+    return None
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("baseline", help="checked-in BENCH_baseline.json")
+    ap.add_argument("current", help="fresh JSONROW capture (txt or jsonl)")
+    ap.add_argument("--threshold", type=float, default=0.25,
+                    help="max allowed fractional regression (default 0.25)")
+    ap.add_argument("--absolute", action="store_true",
+                    help="compare raw ops/s instead of 1-shard-normalized")
+    args = ap.parse_args()
+
+    base_rows = load_rows(args.baseline)
+    cur_rows = load_rows(args.current)
+
+    base_ref = cur_ref = 1.0
+    if not args.absolute:
+        base_ref = reference_ops(base_rows)
+        cur_ref = reference_ops(cur_rows)
+        if not base_ref or not cur_ref:
+            sys.exit("error: missing the 1-shard reference row; "
+                     "rerun with --absolute or fix the capture")
+
+    base_by_key = dict(keyed_rows(base_rows))
+
+    checked = 0
+    failures = []
+    for key, row in keyed_rows(cur_rows):
+        base = base_by_key.get(key)
+        if base is None:
+            print(f"note: no baseline for {key} — new config, skipped")
+            continue
+        if not args.absolute and row.get("qos") == 1:
+            # Rate-limited rows are wall-clock-pinned (the throttle, not the
+            # CPU, sets their ops/s), so dividing by the CPU-bound 1-shard
+            # reference would read as a regression on any faster runner.
+            print(f"note: skipping rate-limited row {key} in normalized mode")
+            continue
+        base_val = base["ops_per_second"] / base_ref
+        cur_val = row["ops_per_second"] / cur_ref
+        checked += 1
+        if base_val <= 0:
+            continue
+        drop = 1.0 - cur_val / base_val
+        tag = (f"{row['bench']} shards={row.get('shards')} "
+               f"tenants={row.get('tenants')} churn={row.get('churn_period_ms')} "
+               f"qos={row.get('qos')} balancer={row.get('balancer')}")
+        status = "FAIL" if drop > args.threshold else "ok"
+        print(f"{status}: {tag}: {base_val:.3g} -> {cur_val:.3g} "
+              f"({-drop * 100:+.1f}%)")
+        if drop > args.threshold:
+            failures.append(tag)
+
+    if checked == 0:
+        sys.exit("error: no comparable rows between baseline and current run")
+    if failures:
+        print(f"\n{len(failures)} row(s) regressed more than "
+              f"{args.threshold * 100:.0f}%:")
+        for tag in failures:
+            print(f"  {tag}")
+        return 1
+    print(f"\nall {checked} comparable rows within "
+          f"{args.threshold * 100:.0f}% of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
