@@ -18,7 +18,11 @@
 //       latency is the isolation metric;
 //   (e) balancer A/B at 4 shards — every volume forced onto shard 0, then
 //       the same workload with the Balancer off vs on: aggregate ops/s,
-//       p99, moves made and the final imbalance metric.
+//       p99, moves made and the final imbalance metric;
+//   (f) clone cost — copy-on-write clone_volume vs the legacy full byte
+//       copy across a >= 16x spread of volume sizes: CoW clone latency must
+//       be O(metadata), i.e. essentially flat in volume size, while the
+//       copy path grows linearly (the speedup column is the headline).
 //
 // Queries run interleaved with updates (1 per 64 ops) and background
 // maintenance is active throughout, so p99 query latency reflects
@@ -322,6 +326,104 @@ void run_balancer_ab(std::uint64_t budget, bool balancer_on) {
       .print();
 }
 
+// --- sweep (f): clone cost — CoW vs full copy ---------------------------------
+
+/// Builds one `src` volume of ~`ops` block operations (committed and
+/// compacted, so the durable state is settled), then measures clone_volume
+/// with the given mode. CoW clones are timed as the min of three
+/// clone+destroy rounds (the operation is sub-millisecond; min-of-3 shields
+/// the flatness signal from scheduler noise); the full copy is timed once.
+double measure_clone_micros(std::uint64_t ops, bool cow,
+                            std::uint64_t* db_bytes_out,
+                            std::uint64_t* shared_bytes_out) {
+  storage::TempDir dir("backlog_clone");
+  service::ServiceOptions so;
+  so.shards = 2;
+  so.root = dir.path();
+  so.db_options.expected_ops_per_cp = 2000;
+  so.sync_writes = false;
+  so.cow_clone = cow;
+  service::VolumeManager vm(so);
+  vm.open_volume("src");
+
+  std::uint64_t next_block = 1;
+  while (next_block <= ops) {
+    std::vector<service::UpdateOp> batch;
+    for (int i = 0; i < 2000 && next_block <= ops; ++i) {
+      service::UpdateOp op;
+      op.kind = service::UpdateOp::Kind::kAdd;
+      op.key.block = next_block++;
+      op.key.inode = 2;
+      op.key.length = 1;
+      batch.push_back(op);
+    }
+    vm.apply("src", std::move(batch)).get();
+    vm.consistency_point("src").get();
+  }
+  vm.maintain("src").get();
+  const core::Epoch snap = vm.take_snapshot("src").get();
+  if (db_bytes_out != nullptr)
+    *db_bytes_out = vm.quick_stats("src").get().db_bytes;
+
+  double best = 0;
+  const int rounds = cow ? 3 : 1;
+  for (int r = 0; r < rounds; ++r) {
+    const std::string dst = "dst" + std::to_string(r);
+    const double t0 = bench::now_seconds();
+    vm.clone_volume("src", dst, 0, snap);
+    const double micros = (bench::now_seconds() - t0) * 1e6;
+    if (r == 0 || micros < best) best = micros;
+    if (shared_bytes_out != nullptr && r == 0) {
+      const auto stats = vm.shared_files().stats();
+      *shared_bytes_out = stats.shared_bytes;
+    }
+    vm.destroy_volume(dst);
+  }
+  return best;
+}
+
+void run_clone_cost(const std::vector<std::uint64_t>& sizes) {
+  std::printf("%10s %12s %14s %14s %9s %8s\n", "ops", "db_bytes",
+              "cow_clone_us", "copy_clone_us", "speedup", "shared%");
+  double cow_min = 0, cow_max = 0, largest_speedup = 0;
+  for (std::size_t i = 0; i < sizes.size(); ++i) {
+    const std::uint64_t ops = sizes[i];
+    std::uint64_t db_bytes = 0, shared_bytes = 0;
+    const double cow_us = measure_clone_micros(ops, /*cow=*/true, &db_bytes,
+                                               &shared_bytes);
+    const double copy_us =
+        measure_clone_micros(ops, /*cow=*/false, nullptr, nullptr);
+    const double speedup = cow_us > 0 ? copy_us / cow_us : 0;
+    const double shared_ratio =
+        db_bytes > 0 ? static_cast<double>(shared_bytes) /
+                           static_cast<double>(db_bytes)
+                     : 0;
+    std::printf("%10llu %12llu %14.0f %14.0f %8.1fx %7.0f%%\n",
+                static_cast<unsigned long long>(ops),
+                static_cast<unsigned long long>(db_bytes), cow_us, copy_us,
+                speedup, shared_ratio * 100);
+    bench::JsonRow()
+        .str("bench", "service_clone_cost")
+        .num("ops", ops)
+        .num("db_bytes", db_bytes)
+        .num("clone_micros_cow", cow_us)
+        .num("clone_micros_copy", copy_us)
+        .num("speedup", speedup)
+        .num("shared_bytes", shared_bytes)
+        .num("shared_ratio", shared_ratio)
+        .print();
+    if (i == 0) cow_min = cow_max = cow_us;
+    cow_min = std::min(cow_min, cow_us);
+    cow_max = std::max(cow_max, cow_us);
+    if (i + 1 == sizes.size()) largest_speedup = speedup;
+  }
+  std::printf(
+      "\nCoW clone flatness across %.0fx size spread: %.2fx (target <= 2x); "
+      "speedup at largest size: %.1fx (target >= 10x)\n",
+      static_cast<double>(sizes.back()) / static_cast<double>(sizes.front()),
+      cow_min > 0 ? cow_max / cow_min : 0, largest_speedup);
+}
+
 }  // namespace
 
 int main() {
@@ -387,5 +489,10 @@ int main() {
       "0\n");
   run_balancer_ab(budget / 2, /*balancer_on=*/false);
   run_balancer_ab(budget / 2, /*balancer_on=*/true);
+
+  std::printf(
+      "\nsweep (f): clone cost — copy-on-write vs full copy over a 16x "
+      "volume-size spread\n");
+  run_clone_cost({budget / 16, budget / 4, budget});
   return 0;
 }

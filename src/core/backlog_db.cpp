@@ -8,6 +8,7 @@
 #include <set>
 #include <stdexcept>
 
+#include "core/file_manifest.hpp"
 #include "core/join.hpp"
 #include "util/clock.hpp"
 #include "util/crc32c.hpp"
@@ -75,6 +76,17 @@ BacklogDb::BacklogDb(storage::Env& env, BacklogOptions options)
     throw std::invalid_argument(
         "BacklogOptions: expected_ops_per_cp must be > 0 (it sizes the "
         "per-run Bloom filters)");
+  if (options_.file_tag.size() > 32)
+    throw std::invalid_argument(
+        "BacklogOptions: file_tag must be <= 32 chars — run names embed it "
+        "verbatim, and a truncated tag could collide across volumes");
+  for (const char c : options_.file_tag) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '-' || c == '_' || c == '.';
+    if (!ok)
+      throw std::invalid_argument(
+          "BacklogOptions: file_tag must be [A-Za-z0-9._-] (it names files)");
+  }
   // Note: cache_pages == 0 is a documented value (disable the query cache,
   // used by the cold-cache experiments); it is rejected at the service layer
   // where a hosted volume always needs a cache, not here.
@@ -114,9 +126,20 @@ std::string BacklogDb::new_run_name(Table table, std::uint64_t partition) {
                       : table == Table::kTo     ? 't'
                                                 : 'c';
   char buf[64];
-  std::snprintf(buf, sizeof buf, "%c_%06llu_%08llu.run", prefix,
-                static_cast<unsigned long long>(partition),
-                static_cast<unsigned long long>(next_run_id_++));
+  if (options_.file_tag.empty()) {
+    std::snprintf(buf, sizeof buf, "%c_%06llu_%08llu.run", prefix,
+                  static_cast<unsigned long long>(partition),
+                  static_cast<unsigned long long>(next_run_id_++));
+  } else {
+    // The tag makes the name unique across every volume sharing a
+    // FileManifest: a cloned volume inherits its source's runs (and the
+    // source's next_run_id_), so without the tag both could mint the same
+    // name and a later flush would truncate a file the other still reads.
+    std::snprintf(buf, sizeof buf, "%c_%.32s_%06llu_%08llu.run", prefix,
+                  options_.file_tag.c_str(),
+                  static_cast<unsigned long long>(partition),
+                  static_cast<unsigned long long>(next_run_id_++));
+  }
   return buf;
 }
 
@@ -258,7 +281,12 @@ void BacklogDb::drop_run(const RunMeta& meta) {
     open_lru_.remove(meta.name);
     open_runs_.erase(it);
   }
+  // Deleting this directory's entry is always safe: a run shared with a
+  // cloned volume is a hard link, so sharers keep the inode alive. The
+  // manifest release keeps the logical refcount in step — at refcount zero
+  // the unlink above *was* the physical removal.
   env_.delete_file(meta.name);
+  if (options_.shared_files != nullptr) options_.shared_files->release(meta.name);
 }
 
 void BacklogDb::track_run_added(const RunMeta& meta) noexcept {
@@ -512,6 +540,8 @@ MaintenanceStats BacklogDb::maintain() {
     dv_dirty_ = false;
   }
   save_manifest();
+  // One FILEREFS flush per compaction pass, not per retired shared run.
+  if (options_.shared_files != nullptr) options_.shared_files->persist_if_dirty();
 
   const storage::IoStats delta = env_.stats() - before;
   s.pages_read = delta.page_reads;
@@ -540,6 +570,7 @@ MaintenanceStats BacklogDb::maintain_partition(BlockNo block) {
     dv_dirty_ = false;
   }
   save_manifest();
+  if (options_.shared_files != nullptr) options_.shared_files->persist_if_dirty();
   const storage::IoStats delta = env_.stats() - before;
   s.pages_read = delta.page_reads;
   s.pages_written = delta.page_writes;
@@ -770,6 +801,34 @@ DbStats BacklogDb::stats() const {
   return s;
 }
 
+FileOwnershipStats BacklogDb::file_ownership() const {
+  FileOwnershipStats s;
+  const auto classify = [&](const std::shared_ptr<RunMeta>& m) {
+    ++s.total_files;
+    if (options_.shared_files != nullptr &&
+        options_.shared_files->is_shared(m->name)) {
+      ++s.shared_files;
+      s.shared_bytes += m->size_bytes;
+    } else {
+      s.owned_bytes += m->size_bytes;
+    }
+  };
+  for (const auto& [pid, part] : partitions_) {
+    for (const auto& m : part.from_runs) classify(m);
+    for (const auto& m : part.to_runs) classify(m);
+    for (const auto& m : part.combined_runs) classify(m);
+  }
+  // Metadata files are copied into clones, never linked: always owned.
+  for (const char* name :
+       {kManifestName, kDvFromName, kDvToName, kDvCombinedName}) {
+    if (env_.file_exists(name)) {
+      ++s.total_files;
+      s.owned_bytes += env_.file_size(name);
+    }
+  }
+  return s;
+}
+
 QuickStats BacklogDb::quick_stats() const noexcept {
   QuickStats q = quick_;
   q.ws_entries = ws_.from_size() + ws_.to_size();
@@ -963,8 +1022,10 @@ void BacklogDb::remove_orphan_runs() {
   for (const std::string& name : env_.list_files()) {
     if (name.size() > 4 && name.ends_with(".run") && !referenced.contains(name)) {
       env_.delete_file(name);
+      if (options_.shared_files != nullptr) options_.shared_files->release(name);
     }
   }
+  if (options_.shared_files != nullptr) options_.shared_files->persist_if_dirty();
 }
 
 }  // namespace backlog::core

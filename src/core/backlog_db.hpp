@@ -33,6 +33,8 @@
 
 namespace backlog::core {
 
+class FileManifest;
+
 struct BacklogOptions {
   /// Horizontal partitioning granularity (§5.3): run files cover disjoint
   /// fixed ranges of `partition_blocks` physical blocks each.
@@ -64,6 +66,25 @@ struct BacklogOptions {
   // Ablation toggles (bench/ablation_design_choices).
   bool use_bloom = true;
   bool pruning = true;
+
+  /// Uniquifies run-file names across every volume sharing a FileManifest:
+  /// with a tag, runs are named `<table>_<tag>_<partition>_<id>.run`. Two db
+  /// instances with distinct tags can never mint the same name, so a run
+  /// hard-linked into another volume's directory (copy-on-write clone) is
+  /// never rewritten in place by that volume's own flushes — RunWriter
+  /// truncates on create, which would corrupt every sharer. The service
+  /// layer assigns a fresh tag per opened volume instance; empty (the
+  /// standalone default) keeps the legacy `<table>_<partition>_<id>.run`
+  /// names. Characters are restricted to [A-Za-z0-9._-].
+  std::string file_tag;
+
+  /// Shared-file ownership hook (borrowed; outlives the db). When set,
+  /// every run file the db retires — compaction, batch pre-merges, orphan
+  /// removal — is released through the manifest after the db unlinks its
+  /// own directory entry, so refcounts of files shared with cloned volumes
+  /// stay exact. Null (the standalone default) means every file is
+  /// sole-owned and plain deletion suffices.
+  FileManifest* shared_files = nullptr;
 };
 
 /// One masked query result: a Combined record plus the retained snapshot /
@@ -99,6 +120,19 @@ struct MaintenanceStats {
   std::uint64_t pages_read = 0;
   std::uint64_t pages_written = 0;
   std::uint64_t wall_micros = 0;
+};
+
+/// Shared-vs-owned byte split of the volume's durable files, resolved
+/// against the shared FileManifest (everything is owned when no manifest is
+/// configured). `shared_bytes` counts run files hard-linked into at least
+/// one other volume directory (copy-on-write clones); metadata files
+/// (manifest, deletion vectors) are always owned — they are copied, never
+/// linked, because they mutate in place.
+struct FileOwnershipStats {
+  std::uint64_t owned_bytes = 0;
+  std::uint64_t shared_bytes = 0;
+  std::uint64_t shared_files = 0;
+  std::uint64_t total_files = 0;
 };
 
 struct DbStats {
@@ -222,6 +256,7 @@ class BacklogDb {
                          BlockNo new_block);
 
   [[nodiscard]] DbStats stats() const;
+  [[nodiscard]] FileOwnershipStats file_ownership() const;
   [[nodiscard]] QuickStats quick_stats() const noexcept;
   [[nodiscard]] const BacklogOptions& options() const noexcept { return options_; }
 

@@ -93,6 +93,12 @@ struct TenantStats {
   // gate, stamped into the snapshot by stats()).
   std::uint64_t throttle_queued = 0;     ///< ops that waited for tokens
   std::uint64_t throttle_rejected = 0;   ///< ops refused with kThrottled
+  // Copy-on-write ownership gauges, resolved against the service's shared
+  // FileManifest at snapshot time: how many of the volume's durable bytes
+  // are hard-linked into other volumes (clone sharing) vs owned alone.
+  std::uint64_t owned_bytes = 0;
+  std::uint64_t shared_bytes = 0;
+  std::uint64_t shared_files = 0;
   LatencyHistogram update_batch_micros;
   LatencyHistogram cp_micros;
   LatencyHistogram query_micros;
@@ -117,6 +123,9 @@ struct TenantStats {
     maintenance_skipped += o.maintenance_skipped;
     throttle_queued += o.throttle_queued;
     throttle_rejected += o.throttle_rejected;
+    owned_bytes += o.owned_bytes;
+    shared_bytes += o.shared_bytes;
+    shared_files += o.shared_files;
     update_batch_micros.merge(o.update_batch_micros);
     cp_micros.merge(o.cp_micros);
     query_micros.merge(o.query_micros);

@@ -1,6 +1,7 @@
 #include "service/volume_manager.hpp"
 
 #include <filesystem>
+#include <random>
 #include <stdexcept>
 
 #include "util/clock.hpp"
@@ -10,6 +11,11 @@ namespace backlog::service {
 using util::now_micros;
 
 namespace {
+
+/// Clone-in-progress staging directories: `<dst>.cloning` commits to `<dst>`
+/// by an atomic rename; anything still carrying the suffix at construction
+/// is a crashed clone and is discarded.
+constexpr char kCloneStagingSuffix[] = ".cloning";
 
 void validate_tenant_name(const std::string& tenant) {
   if (tenant.empty())
@@ -26,6 +32,49 @@ void validate_tenant_name(const std::string& tenant) {
   }
   if (tenant == "." || tenant == "..")
     throw std::invalid_argument("tenant name must not be a dot directory");
+  if (tenant.ends_with(kCloneStagingSuffix))
+    throw std::invalid_argument(
+        "tenant name must not end with the reserved clone-staging suffix "
+        "'.cloning': " +
+        tenant);
+  // The shared-file refcount table and its rename buddy live directly in
+  // the service root; a volume directory with either name would make every
+  // FILEREFS persist fail with EISDIR.
+  if (tenant == "FILEREFS" || tenant == "FILEREFS.tmp")
+    throw std::invalid_argument(
+        "tenant name is reserved for the shared-file manifest: " + tenant);
+}
+
+/// A name component unique across every volume instance that shares a
+/// FileManifest (see BacklogOptions::file_tag): a process-wide random nonce
+/// mixed with an instance counter. Uniqueness is what matters — stability
+/// across reopens is not (old files keep their recorded names, only newly
+/// minted runs carry the new tag).
+std::string make_file_tag() {
+  static const std::uint64_t nonce = [] {
+    std::random_device rd;
+    return (static_cast<std::uint64_t>(rd()) << 32) ^ rd();
+  }();
+  static std::atomic<std::uint64_t> counter{0};
+  const std::uint64_t v =
+      nonce ^ (0x9e3779b97f4a7c15ULL *
+               (counter.fetch_add(1, std::memory_order_relaxed) + 1));
+  char buf[20];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(v));
+  return buf;
+}
+
+ServiceOptions validated(ServiceOptions options) {
+  if (options.shards == 0)
+    throw std::invalid_argument("ServiceOptions: shards must be > 0");
+  if (options.root.empty())
+    throw std::invalid_argument("ServiceOptions: root must be set");
+  if (options.db_options.cache_pages == 0)
+    throw std::invalid_argument(
+        "ServiceOptions: db_options.cache_pages must be > 0 (a hosted volume "
+        "always serves queries through its cache)");
+  return options;
 }
 
 /// Clears the volume's maintenance-pending flag on every exit path of a
@@ -47,17 +96,42 @@ bool VolumeManager::flush_buffered_cp(Volume& v) {
 }
 
 VolumeManager::VolumeManager(ServiceOptions options)
-    : options_(std::move(options)),
-      pool_(options_.shards == 0 ? 1 : options_.shards,
-            options_.bg_starvation_limit) {
-  if (options_.shards == 0)
-    throw std::invalid_argument("ServiceOptions: shards must be > 0");
-  if (options_.root.empty())
-    throw std::invalid_argument("ServiceOptions: root must be set");
-  if (options_.db_options.cache_pages == 0)
-    throw std::invalid_argument(
-        "ServiceOptions: db_options.cache_pages must be > 0 (a hosted volume "
-        "always serves queries through its cache)");
+    : options_(validated(std::move(options))),
+      shared_files_(options_.root),
+      pool_(options_.shards, options_.bg_starvation_limit) {
+  recover_clone_staging();
+}
+
+void VolumeManager::recover_clone_staging() {
+  std::vector<std::filesystem::path> volume_dirs;
+  bool found_staging = false;
+  std::error_code ec;
+  for (const auto& de :
+       std::filesystem::directory_iterator(options_.root, ec)) {
+    if (!de.is_directory()) continue;
+    if (de.path().filename().string().ends_with(kCloneStagingSuffix)) {
+      // A clone that died before its commit rename. Its contents are hard
+      // links into live volumes, so removing them only drops this
+      // directory's references — the rebuild below recounts the survivors.
+      std::error_code rm_ec;
+      std::filesystem::remove_all(de.path(), rm_ec);
+      found_staging = true;
+    } else {
+      volume_dirs.push_back(de.path());
+    }
+  }
+  // FILEREFS may be stale in either direction after a crash (ahead of a
+  // clone that never committed, or behind one that did); the committed
+  // directories are the truth. Skip the recount only when there is plainly
+  // nothing to reconcile (fresh root).
+  if (found_staging || !volume_dirs.empty()) shared_files_.rebuild(volume_dirs);
+}
+
+core::BacklogOptions VolumeManager::volume_db_options() {
+  core::BacklogOptions opts = options_.db_options;
+  opts.file_tag = make_file_tag();
+  opts.shared_files = &shared_files_;
+  return opts;
 }
 
 VolumeManager::~VolumeManager() {
@@ -245,12 +319,12 @@ void VolumeManager::open_volume(const std::string& tenant) {
   const std::filesystem::path dir = options_.root / tenant;
   dispatch(
       vol,
-      [this, vol, prom, dir] {
+      [this, vol, prom, dir, db_opts = volume_db_options()] {
         try {
           vol->env = std::make_unique<storage::Env>(dir);
           vol->env->set_sync(options_.sync_writes);
-          vol->db =
-              std::make_unique<core::BacklogDb>(*vol->env, options_.db_options);
+          vol->env->set_fault_hook(options_.env_fault_hook);
+          vol->db = std::make_unique<core::BacklogDb>(*vol->env, db_opts);
           prom->set_value();
         } catch (...) {
           prom->set_exception(std::current_exception());
@@ -299,6 +373,48 @@ void VolumeManager::close_volume(const std::string& tenant) {
            if (v.db->quick_stats().ws_entries != 0) {
              v.db->consistency_point();
            }
+         })
+      .get();
+}
+
+void VolumeManager::release_directory_via_manifest(
+    const std::filesystem::path& dir) {
+  std::error_code ec;
+  for (const auto& de : std::filesystem::directory_iterator(dir, ec)) {
+    const std::string name = de.path().filename().string();
+    std::error_code rm_ec;
+    std::filesystem::remove(de.path(), rm_ec);
+    if (!rm_ec && name.ends_with(".run")) shared_files_.note_unlink(name);
+  }
+  shared_files_.persist();
+  std::error_code rm_ec;
+  std::filesystem::remove_all(dir, rm_ec);
+}
+
+void VolumeManager::destroy_volume(const std::string& tenant) {
+  std::shared_ptr<Volume> vol;
+  {
+    std::lock_guard lock(mu_);
+    const auto it = volumes_.find(tenant);
+    if (it == volumes_.end())
+      throw std::invalid_argument("unknown tenant: " + tenant);
+    vol = it->second;
+    volumes_.erase(it);  // no new operations route to it
+  }
+  vol->gate.clear();
+  const std::filesystem::path dir = options_.root / tenant;
+  run_on(vol,
+         [this, dir](Volume& v) {
+           // Close the handles first so every file descriptor is released,
+           // then delete through the manifest: each run's own link is
+           // removed and its refcount decremented — a file shared with a
+           // clone lives on in the sharer's directory, a sole-owned file's
+           // unlink here is its physical removal. No remove_all shortcut:
+           // that would leave the refcount table claiming holders that no
+           // longer exist.
+           v.db.reset();
+           v.env.reset();
+           release_directory_via_manifest(dir);
          })
       .get();
 }
@@ -418,18 +534,32 @@ core::LineId VolumeManager::clone_volume(const std::string& src_tenant,
   }
 
   const std::filesystem::path dst_dir = options_.root / dst_tenant;
+  const std::filesystem::path staging =
+      options_.root / (dst_tenant + kCloneStagingSuffix);
   bool copied = false;
+  // Set by the shard task the moment the staging->dst rename lands: from
+  // then on dst_dir is a committed volume and every failure path must
+  // dismantle it through the manifest rather than roll refcounts back.
+  auto committed = std::make_shared<std::atomic<bool>>(false);
   try {
     if (std::filesystem::exists(dst_dir))
       throw std::invalid_argument("clone_volume: destination already exists: " +
                                   dst_dir.string());
 
-    // Quiesce-and-copy on the source shard: the copy task serializes behind
+    // Quiesce-and-share on the source shard: the task serializes behind
     // every update submitted before this call, flushes anything buffered so
     // the durable files are the complete state, validates the snapshot, and
-    // copies the db's own file list (manifest, deletion vectors, runs).
+    // stages the db's own file list (manifest, deletion vectors, runs) into
+    // `<dst>.cloning`. With cow_clone, immutable run files are hard-linked
+    // (no data copy; the shared FileManifest's refcounts take ownership)
+    // and only the mutable metadata is byte-copied. Two durability points
+    // commit the clone — the refcount table (FILEREFS) and the atomic
+    // staging->dst rename; recover_clone_staging() reconciles a crash
+    // between them, in either persist order.
+    const bool cow = options_.cow_clone;
     run_on(src,
-           [parent_line, version, dst_dir](Volume& v) {
+           [this, parent_line, version, dst_dir, staging, cow,
+            committed](Volume& v) {
              flush_buffered_cp(v);
              if (!v.db->registry().has_snapshot(parent_line, version)) {
                throw std::invalid_argument(
@@ -437,16 +567,53 @@ core::LineId VolumeManager::clone_volume(const std::string& src_tenant,
                    ", v" + std::to_string(version) +
                    ") is not a retained snapshot of " + v.tenant);
              }
-             std::filesystem::create_directories(dst_dir);
+             const auto checkpoint = [this](std::string_view point) {
+               if (options_.clone_checkpoint) options_.clone_checkpoint(point);
+             };
+             std::error_code ec;
+             std::filesystem::remove_all(staging, ec);  // stale leftovers
+             std::filesystem::create_directories(staging);
+             std::vector<std::string> linked;
              try {
                for (const std::string& name : v.db->live_files()) {
-                 std::filesystem::copy_file(
-                     v.env->root() / name, dst_dir / name,
-                     std::filesystem::copy_options::overwrite_existing);
+                 if (cow && name.ends_with(".run")) {
+                   v.env->link_file_to(name, staging);
+                   shared_files_.note_link(name, v.env->file_size(name));
+                   linked.push_back(name);
+                 } else {
+                   v.env->copy_file_to(name, staging);
+                 }
+               }
+               checkpoint("files_staged");
+               if (!linked.empty() && !options_.clone_persist_refs_last) {
+                 shared_files_.persist();
+                 checkpoint("refs_persisted");
+               }
+               std::filesystem::rename(staging, dst_dir);  // the commit point
+               committed->store(true, std::memory_order_release);
+               checkpoint("registry_persisted");
+               if (!linked.empty() && options_.clone_persist_refs_last) {
+                 shared_files_.persist();
+                 checkpoint("refs_persisted");
                }
              } catch (...) {
-               std::error_code ec;
-               std::filesystem::remove_all(dst_dir, ec);  // drop the partial copy
+               if (committed->load(std::memory_order_acquire)) {
+                 // The rename already committed: the links are live and the
+                 // in-memory refcounts are right — leave both alone and let
+                 // the outer cleanup dismantle the committed directory
+                 // through the manifest.
+                 throw;
+               }
+               // A failed link/copy mid-stage: step the refcounts back with
+               // the links. Never bare remove_all — the staged runs are
+               // shared state now, and dropping their links without
+               // releasing them would leave the table claiming a holder
+               // that no longer exists.
+               for (const std::string& name : linked)
+                 shared_files_.note_unlink(name);
+               if (!linked.empty()) shared_files_.persist();
+               std::error_code rm_ec;
+               std::filesystem::remove_all(staging, rm_ec);
                throw;
              }
            })
@@ -461,12 +628,12 @@ core::LineId VolumeManager::clone_volume(const std::string& src_tenant,
     std::future<void> opened = prom->get_future();
     dispatch(
         dst,
-        [this, dst, prom, dst_dir] {
+        [this, dst, prom, dst_dir, db_opts = volume_db_options()] {
           try {
             dst->env = std::make_unique<storage::Env>(dst_dir);
             dst->env->set_sync(options_.sync_writes);
-            dst->db = std::make_unique<core::BacklogDb>(*dst->env,
-                                                        options_.db_options);
+            dst->env->set_fault_hook(options_.env_fault_hook);
+            dst->db = std::make_unique<core::BacklogDb>(*dst->env, db_opts);
             prom->set_value();
           } catch (...) {
             prom->set_exception(std::current_exception());
@@ -485,8 +652,10 @@ core::LineId VolumeManager::clone_volume(const std::string& src_tenant,
         .get();
   } catch (...) {
     // Unregister the reservation, tear down whatever opened on the shard,
-    // and drop the copied directory — a retry must not hit "destination
-    // already exists" for a volume that never came to life.
+    // and drop the committed directory *through the manifest* — its run
+    // links hold shared references that must be released, exactly as in
+    // destroy_volume. A retry must not hit "destination already exists"
+    // for a volume that never came to life.
     {
       std::lock_guard lock(mu_);
       volumes_.erase(dst_tenant);
@@ -502,9 +671,8 @@ core::LineId VolumeManager::clone_volume(const std::string& src_tenant,
       // "volume is closed" when the open never happened — nothing to tear
       // down.
     }
-    if (copied) {
-      std::error_code ec;
-      std::filesystem::remove_all(dst_dir, ec);
+    if (copied || committed->load(std::memory_order_acquire)) {
+      release_directory_via_manifest(dst_dir);
     }
     throw;
   }
@@ -735,6 +903,11 @@ ServiceStats VolumeManager::stats() {
                                  [](Volume& v) {
                                    TenantStats ts = v.stats;
                                    ts.io = v.env->stats();
+                                   const core::FileOwnershipStats fo =
+                                       v.db->file_ownership();
+                                   ts.owned_bytes = fo.owned_bytes;
+                                   ts.shared_bytes = fo.shared_bytes;
+                                   ts.shared_files = fo.shared_files;
                                    return ts;
                                  },
                                  /*background=*/false, 0, 0,

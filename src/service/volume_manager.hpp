@@ -48,6 +48,7 @@
 #include <vector>
 
 #include "core/backlog_db.hpp"
+#include "core/file_manifest.hpp"
 #include "service/qos.hpp"
 #include "service/service_stats.hpp"
 #include "service/worker_pool.hpp"
@@ -79,6 +80,28 @@ struct ServiceOptions {
   /// How often the QoS pacer re-checks throttled volumes' wait queues. The
   /// pacer thread only exists once some volume has a QoS configured.
   std::chrono::milliseconds qos_pacer_interval{1};
+
+  /// Copy-on-write clone_volume: share the source's immutable run files
+  /// with the clone via hard links + the service's reference-counted
+  /// FileManifest, so clone cost is O(metadata) instead of O(volume size).
+  /// false restores the full byte copy of every live file (the pre-CoW
+  /// behaviour; also the fallback for filesystems without hard links).
+  bool cow_clone = true;
+
+  /// Test hook: invoked at the named durability points of clone_volume's
+  /// commit sequence ("files_staged", "refs_persisted",
+  /// "registry_persisted"). Crash harnesses _exit() inside it to kill the
+  /// process between the refcount persist and the clone-directory commit.
+  std::function<void(std::string_view)> clone_checkpoint;
+
+  /// Test hook: persist the shared-file refcounts *after* the clone
+  /// directory commit instead of before, flipping the order of the two
+  /// durability points so crash recovery is exercised from both sides.
+  bool clone_persist_refs_last = false;
+
+  /// Fault-injection hook installed on every hosted volume's Env (see
+  /// Env::set_fault_hook): lets tests fail a link/copy mid-clone.
+  storage::Env::FaultHook env_fault_hook;
 };
 
 /// Thresholds steering background maintenance (see MaintenanceScheduler).
@@ -160,6 +183,13 @@ class VolumeManager {
   /// Flush (consistency point, if anything is buffered) and close. Blocks.
   void close_volume(const std::string& tenant);
 
+  /// Close `tenant` without flushing and permanently delete its directory.
+  /// Every run file is released through the shared FileManifest before its
+  /// link is removed: files shared with cloned volumes survive (their
+  /// refcount drops by one), sole-owned files are physically removed.
+  /// Blocks.
+  void destroy_volume(const std::string& tenant);
+
   [[nodiscard]] bool has_volume(const std::string& tenant) const;
   [[nodiscard]] std::vector<std::string> tenants() const;
 
@@ -207,11 +237,19 @@ class VolumeManager {
   /// Clone-as-new-tenant: materialize a writable clone of src's snapshot
   /// (parent_line, version) as the independently addressable volume
   /// `dst_tenant`. The source is quiesced on its shard just long enough to
-  /// flush buffered updates (if any) and copy its durable files; the new
-  /// volume recovers from the copy, shares the full structural-inheritance
-  /// history through its (copied) SnapshotRegistry, and gets a fresh
-  /// writable line — whose id this call returns — cloned from the snapshot.
-  /// The destination routes by hash like any newly opened volume. Blocks.
+  /// flush buffered updates (if any) and *share* its durable files: with
+  /// cow_clone (the default) immutable run files are hard-linked into a
+  /// staging directory — no data copy, refcounts bumped in the shared
+  /// FileManifest — and only the small mutable metadata (manifest, deletion
+  /// vectors) is byte-copied, so clone cost is O(metadata). The staging
+  /// directory commits by an atomic rename; a crash before the rename
+  /// leaves a `<dst>.cloning` directory that the next VolumeManager
+  /// construction removes (releasing its references). The new volume
+  /// recovers from the committed directory, shares the full
+  /// structural-inheritance history through its (copied) SnapshotRegistry,
+  /// and gets a fresh writable line — whose id this call returns — cloned
+  /// from the snapshot. The destination routes by hash like any newly
+  /// opened volume. Blocks.
   core::LineId clone_volume(const std::string& src_tenant,
                             const std::string& dst_tenant,
                             core::LineId parent_line, core::Epoch version);
@@ -313,6 +351,12 @@ class VolumeManager {
   /// its shard.
   std::future<void> with_db(const std::string& tenant,
                             std::function<void(core::BacklogDb&)> fn);
+
+  /// The service-wide reference-counted ownership table of files shared
+  /// across volume directories by copy-on-write clones.
+  [[nodiscard]] core::FileManifest& shared_files() noexcept {
+    return shared_files_;
+  }
 
   [[nodiscard]] const ServiceOptions& options() const noexcept {
     return options_;
@@ -445,7 +489,25 @@ class VolumeManager {
   void stop_pacer();
   void pacer_loop();
 
+  /// Per-hosted-volume BacklogOptions: the shared defaults plus a fresh
+  /// file_tag (globally unique run names) and the shared-file release hook.
+  [[nodiscard]] core::BacklogOptions volume_db_options();
+
+  /// Constructor helper: remove `*.cloning` staging directories left by a
+  /// clone that crashed before its commit rename, then recount the shared
+  /// FileManifest from the committed volume directories (the table itself
+  /// is never trusted across a crash).
+  void recover_clone_staging();
+
+  /// Delete a volume directory *through the manifest*: every run file's
+  /// own link is removed and its holder deregistered (only when the remove
+  /// actually succeeded — a failed unlink must not desynchronize the
+  /// table), then the refcounts persist and the directory goes away. Used
+  /// by destroy_volume and by clone_volume's committed-directory cleanup.
+  void release_directory_via_manifest(const std::filesystem::path& dir);
+
   ServiceOptions options_;
+  core::FileManifest shared_files_;  // shared-file refcounts (CoW clones)
   mutable std::mutex mu_;  // guards volumes_ (name -> volume membership)
   std::map<std::string, std::shared_ptr<Volume>> volumes_;
   // The routing table lock: shared for every task submission, exclusive

@@ -91,6 +91,24 @@ void Env::rename_file(const std::string& from, const std::string& to) {
   std::filesystem::rename(full(from), full(to));
 }
 
+void Env::link_file_to(const std::string& name,
+                       const std::filesystem::path& dst_dir) {
+  if (fault_hook_) fault_hook_("link", name);
+  std::filesystem::create_hard_link(full(name), dst_dir / name);
+  ++stats_.files_created;
+}
+
+void Env::copy_file_to(const std::string& name,
+                       const std::filesystem::path& dst_dir) {
+  if (fault_hook_) fault_hook_("copy", name);
+  std::filesystem::copy_file(full(name), dst_dir / name,
+                             std::filesystem::copy_options::overwrite_existing);
+  const std::uint64_t bytes = std::filesystem::file_size(dst_dir / name);
+  ++stats_.files_created;
+  stats_.bytes_written += bytes;
+  stats_.page_writes += pages_touched(0, bytes);
+}
+
 std::vector<std::string> Env::list_files() const {
   std::vector<std::string> names;
   for (const auto& entry : std::filesystem::directory_iterator(root_)) {

@@ -11,9 +11,11 @@
 
 #include <cstdint>
 #include <filesystem>
+#include <functional>
 #include <memory>
 #include <span>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace backlog::storage {
@@ -88,6 +90,27 @@ class Env {
   void delete_file(const std::string& name);
   void rename_file(const std::string& from, const std::string& to);
 
+  /// Hard-link `name` into `dst_dir` under the same name (the copy-on-write
+  /// clone's zero-byte sharing of an immutable file). The destination must
+  /// not exist. Counts one file creation, no bytes.
+  void link_file_to(const std::string& name,
+                    const std::filesystem::path& dst_dir);
+
+  /// Byte-copy `name` into `dst_dir` under the same name, replacing any
+  /// existing file (mutable metadata — manifest, deletion vectors — must be
+  /// copied, not linked: an append or rewrite through a link would corrupt
+  /// every sharer). Charges the copied bytes as written pages.
+  void copy_file_to(const std::string& name,
+                    const std::filesystem::path& dst_dir);
+
+  /// Fault-injection hook for crash/fault test harnesses: invoked at the
+  /// top of link_file_to ("link") and copy_file_to ("copy") with the file
+  /// name; throwing aborts the operation before it touches the filesystem.
+  /// Null (the default) disables injection.
+  using FaultHook = std::function<void(std::string_view op,
+                                       const std::string& name)>;
+  void set_fault_hook(FaultHook hook) { fault_hook_ = std::move(hook); }
+
   /// Names (not paths) of regular files directly under the root, sorted.
   [[nodiscard]] std::vector<std::string> list_files() const;
 
@@ -101,6 +124,7 @@ class Env {
 
   std::filesystem::path root_;
   IoStats stats_;
+  FaultHook fault_hook_;
   std::uint64_t next_file_id_ = 1;
   bool sync_enabled_ = true;
 };

@@ -31,6 +31,7 @@
 
 #include <algorithm>
 #include <deque>
+#include <filesystem>
 #include <map>
 #include <memory>
 #include <optional>
@@ -470,6 +471,33 @@ TEST_P(ServiceVersions, RandomizedVerbsMatchNaiveModel) {
   // stable; the moves it made stay counted in the per-tenant stats.
   balancer.stop();
 
+  // Clone-of-clone chain (depth >= 3) over the CoW file manifests: snapshot
+  // and clone-as-new-tenant repeatedly, each hop sourcing from the previous
+  // clone. The chained models stay in CP lockstep (take_snapshot commits a
+  // CP; the clone itself flushes nothing afterwards), and the final sweep
+  // below cross-checks every block of every chain volume like any other.
+  {
+    std::string cur = tenants[0];
+    for (int depth = 0; depth < 3; ++depth) {
+      Model& m = *models.at(cur);
+      const bc::Epoch want_version = m.naive->current_cp();
+      const bc::Epoch v = vm.take_snapshot(cur, 0).get();
+      ASSERT_EQ(v, want_version) << "seed " << GetParam()
+                                 << ": CP lockstep lost on chain hop " << depth;
+      m.lines.at(0).snapshots.insert(v);
+      model_cp(m);
+      ++want_snapshots;
+      const std::string dst = "chain-" + std::to_string(depth);
+      const bc::LineId expect_line = m.next_line;
+      const bc::LineId got = vm.clone_volume(cur, dst, 0, v);
+      ASSERT_EQ(got, expect_line) << "seed " << GetParam();
+      models.emplace(dst, clone_model(dir, dst, m, 0, v, got));
+      tenants.push_back(dst);
+      ++want_clones;
+      cur = dst;
+    }
+  }
+
   // Final sweep: flush every volume and cross-check every block it ever
   // touched ("every query result", not a sample).
   ASSERT_GE(tenants.size(), kRootVolumes);
@@ -482,6 +510,38 @@ TEST_P(ServiceVersions, RandomizedVerbsMatchNaiveModel) {
       if (::testing::Test::HasFatalFailure()) return;
     }
   }
+
+  // CoW manifest cross-check against the naive manifest model: per volume,
+  // the on-disk file set must equal its live Backlog manifest (no leaked or
+  // dangling files after any interleaving of clones, deletes, migrations
+  // and compactions), and the shared FileManifest's refcounts must equal a
+  // from-scratch recount of run-file names across the volume directories.
+  std::map<std::string, std::uint32_t> holders;
+  for (const std::string& t : tenants) {
+    std::set<std::string> live, on_disk;
+    const std::filesystem::path vdir = so.root / t;
+    vm.with_db(t,
+               [&](bc::BacklogDb& db) {
+                 for (const auto& f : db.live_files()) live.insert(f);
+                 for (const auto& de : std::filesystem::directory_iterator(vdir)) {
+                   if (de.is_regular_file())
+                     on_disk.insert(de.path().filename().string());
+                 }
+               })
+        .get();
+    ASSERT_EQ(on_disk, live) << "seed " << GetParam() << " tenant " << t;
+    for (const auto& f : live) {
+      if (f.ends_with(".run")) ++holders[f];
+    }
+  }
+  std::map<std::string, std::uint32_t> want_refs, got_refs;
+  for (const auto& [name, n] : holders) {
+    if (n >= 2) want_refs.emplace(name, n);
+  }
+  for (const auto& [name, e] : vm.shared_files().snapshot()) {
+    got_refs.emplace(name, e.refcount);
+  }
+  ASSERT_EQ(got_refs, want_refs) << "seed " << GetParam();
 
   // Verb accounting survived migrations and clones; shard handoffs are the
   // driver's plus exactly the balancer's.

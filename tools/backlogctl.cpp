@@ -21,7 +21,16 @@
 //                                          materialize a writable clone of
 //                                          src's snapshot as new tenant
 //                                          <dst> (default: latest snapshot
-//                                          of line 0)
+//                                          of line 0). Copy-on-write: run
+//                                          files are hard-linked and
+//                                          refcounted, not copied; prints
+//                                          the shared-byte accounting
+//   backlogctl destroy <root> <tenant> [shards]
+//                                          permanently delete the tenant's
+//                                          volume, releasing every shared
+//                                          file through the refcount
+//                                          manifest (files shared with
+//                                          clones survive)
 //   backlogctl migrate <root> <tenant> <target-shard> [shards]
 //                                          live-migrate the tenant between
 //                                          shards of a <shards>-wide service
@@ -44,8 +53,12 @@
 // arguments) print usage and exit 2; runtime failures exit 1.
 //
 // Note: opening a volume re-establishes the manifest base (one metadata
-// write); all other inspection is read-only (stress/snap/clone/migrate/
-// qos/balance, of course, write).
+// write); all other inspection is read-only (stress/snap/clone/destroy/
+// migrate/qos/balance, of course, write). Volume-level commands (info/
+// maintain/...) open the directory standalone, outside any service: a
+// `maintain` on a volume whose runs are CoW-shared with clones is safe
+// (hard links keep sharers intact) but leaves the service root's FILEREFS
+// accounting stale until the next service start recounts it.
 #include <algorithm>
 #include <cerrno>
 #include <chrono>
@@ -71,12 +84,13 @@ namespace {
 int usage() {
   std::fprintf(stderr,
                "usage: backlogctl <info|runs|query|raw|scan|maintain|dump-run|"
-               "stress|snap|clone|migrate|qos|balance> <dir> [args]\n"
+               "stress|snap|clone|destroy|migrate|qos|balance> <dir> [args]\n"
                "       backlogctl query|raw <dir> <block> [count]\n"
                "       backlogctl dump-run <dir> <file>\n"
                "       backlogctl stress <dir> <tenants> <ops> [shards]\n"
                "       backlogctl snap <root> <tenant> [line]\n"
                "       backlogctl clone <root> <src> <dst> [line [version]]\n"
+               "       backlogctl destroy <root> <tenant> [shards]\n"
                "       backlogctl migrate <root> <tenant> <target-shard> "
                "[shards]\n"
                "       backlogctl qos <root> <tenant> <ops-per-sec> "
@@ -321,8 +335,39 @@ int cmd_clone(const char* root, const std::string& src, const std::string& dst,
   std::printf("cloned %s snapshot (line %" PRIu64 ", v%" PRIu64
               ") -> tenant %s, writable line %" PRIu64 "\n",
               src.c_str(), line, version, dst.c_str(), new_line);
+  const core::FileManifest::Stats fs = vm.shared_files().stats();
+  std::printf("copy-on-write: %" PRIu64 " shared files, %" PRIu64
+              " shared bytes (%.2f MB stored once instead of per clone)\n",
+              fs.shared_files, fs.shared_bytes,
+              fs.saved_bytes / (1024.0 * 1024.0));
   vm.close_volume(dst);
   vm.close_volume(src);
+  return 0;
+}
+
+int cmd_destroy(const char* root, const std::string& tenant,
+                std::size_t shards) {
+  // A destructive verb must never *create* its target: open_volume would
+  // happily materialize an empty directory for a typo'd name and report
+  // "destroyed" with nothing deleted.
+  if (!std::filesystem::is_directory(std::filesystem::path(root) / tenant)) {
+    std::fprintf(stderr, "backlogctl: no volume '%s' under %s\n",
+                 tenant.c_str(), root);
+    return 1;
+  }
+  service::VolumeManager vm(service_options(root, shards));
+  vm.open_volume(tenant);
+  const auto before = vm.shared_files().stats();
+  vm.destroy_volume(tenant);
+  const auto after = vm.shared_files().stats();
+  std::printf("destroyed %s: released %" PRIu64
+              " shared-file references; %" PRIu64 " files still shared "
+              "elsewhere\n",
+              tenant.c_str(),
+              before.shared_files >= after.shared_files
+                  ? before.shared_files - after.shared_files
+                  : 0,
+              after.shared_files);
   return 0;
 }
 
@@ -484,8 +529,8 @@ int main(int argc, char** argv) {
   // Service-level commands take a service *root* (volumes live underneath).
   // Arity and argument ranges are validated up front: a malformed
   // invocation is a usage error (exit 2), never a half-parsed run.
-  if (cmd == "stress" || cmd == "snap" || cmd == "clone" || cmd == "migrate" ||
-      cmd == "qos" || cmd == "balance") {
+  if (cmd == "stress" || cmd == "snap" || cmd == "clone" || cmd == "destroy" ||
+      cmd == "migrate" || cmd == "qos" || cmd == "balance") {
     try {
       if (cmd == "stress") {
         std::uint64_t tenants = 0, ops = 0, shards = 4;
@@ -510,6 +555,14 @@ int main(int argc, char** argv) {
           return usage();
         }
         return cmd_clone(argv[2], argv[3], argv[4], line, version);
+      }
+      if (cmd == "destroy") {
+        std::uint64_t shards = 1;
+        if (argc < 4 || argc > 5 ||
+            (argc > 4 && !parse_u64(argv[4], shards, 1, 1024))) {
+          return usage();
+        }
+        return cmd_destroy(argv[2], argv[3], shards);
       }
       if (cmd == "qos") {
         std::uint64_t ops_rate = 0, bytes_rate = 0, ops = 2000;

@@ -62,6 +62,43 @@ def keyed_rows(rows):
     return out
 
 
+def check_clone_cost(rows, min_speedup=4.0, max_flatness=6.0):
+    """Functional gate on the service_clone_cost sweep (CoW clone_volume):
+    clone latency must be O(metadata). Checked on the *current* run alone —
+    the properties are machine-independent shapes, not absolute speeds:
+
+      * speedup: at the largest volume size the CoW clone must beat the
+        full-copy path by at least `min_speedup` (the bench's headline
+        target is 10x; the gate uses a loose floor so runner noise on the
+        sub-millisecond CoW side cannot flake CI);
+      * flatness: CoW clone latency across the >= 16x size spread must stay
+        within `max_flatness` (headline target: 2x).
+    """
+    clone = [r for r in rows if r.get("bench") == "service_clone_cost"
+             and "clone_micros_cow" in r]
+    failures = []
+    if not clone:
+        return failures
+    clone.sort(key=lambda r: r.get("ops", 0))
+    largest = clone[-1]
+    speedup = largest.get("speedup", 0)
+    status = "FAIL" if speedup < min_speedup else "ok"
+    print(f"{status}: clone_cost speedup at ops={largest.get('ops')}: "
+          f"{speedup:.1f}x (gate >= {min_speedup}x, headline target 10x)")
+    if speedup < min_speedup:
+        failures.append(f"clone_cost speedup {speedup:.1f}x < {min_speedup}x")
+    cows = [r["clone_micros_cow"] for r in clone if r["clone_micros_cow"] > 0]
+    if len(cows) >= 2:
+        flatness = max(cows) / min(cows)
+        status = "FAIL" if flatness > max_flatness else "ok"
+        print(f"{status}: clone_cost CoW flatness across sizes: "
+              f"{flatness:.2f}x (gate <= {max_flatness}x, headline target 2x)")
+        if flatness > max_flatness:
+            failures.append(
+                f"clone_cost CoW latency spread {flatness:.2f}x > {max_flatness}x")
+    return failures
+
+
 def reference_ops(rows):
     """ops_per_second of the 1-shard/16-tenant sweep-(a) row."""
     for row in rows:
@@ -121,6 +158,8 @@ def main():
               f"({-drop * 100:+.1f}%)")
         if drop > args.threshold:
             failures.append(tag)
+
+    failures.extend(check_clone_cost(cur_rows))
 
     if checked == 0:
         sys.exit("error: no comparable rows between baseline and current run")
