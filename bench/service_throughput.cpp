@@ -30,6 +30,7 @@
 #include <atomic>
 #include <cmath>
 #include <cstdio>
+#include <future>
 #include <string>
 #include <thread>
 #include <vector>
@@ -50,6 +51,8 @@ struct ConfigResult {
   std::uint64_t maintenance_runs = 0;
   std::uint64_t migrations = 0;
   std::uint64_t churn_period_ms = 0;
+  bool batched = false;
+  bool pinned = false;
   double wall_seconds = 0;
   double ops_per_second = 0;
   std::uint64_t p99_query_micros = 0;
@@ -58,13 +61,15 @@ struct ConfigResult {
 
 ConfigResult run_config(std::size_t shards, std::size_t tenants,
                         std::uint64_t total_ops_budget,
-                        std::uint64_t churn_period_ms = 0) {
+                        std::uint64_t churn_period_ms = 0,
+                        bool use_batch = false) {
   storage::TempDir dir("backlog_svc");
   service::ServiceOptions so;
   so.shards = shards;
   so.root = dir.path();
   so.db_options.expected_ops_per_cp = 2000;
   so.sync_writes = false;
+  so.pin_shards = true;  // first-come NUMA/core placement; state is reported
   service::VolumeManager vm(so);
 
   service::MaintenancePolicy policy;
@@ -99,6 +104,7 @@ ConfigResult run_config(std::size_t shards, std::size_t tenants,
 
   fsim::ReplayOptions ro;
   ro.batch_ops = 256;
+  ro.use_apply_batch = use_batch;
   ro.ops_per_cp = 2000;
   ro.query_every_ops = 64;
 
@@ -150,6 +156,8 @@ ConfigResult run_config(std::size_t shards, std::size_t tenants,
   ConfigResult r;
   r.shards = shards;
   r.tenants = tenants;
+  r.batched = use_batch;
+  r.pinned = vm.shards_pinned();
   r.migrations = migrations.load();
   r.churn_period_ms = churn_period_ms;
   r.total_ops = total_ops;
@@ -175,6 +183,7 @@ void report(const ConfigResult& r) {
       .str("bench", "service_throughput")
       .num("shards", static_cast<std::uint64_t>(r.shards))
       .num("tenants", static_cast<std::uint64_t>(r.tenants))
+      .num("batched", r.batched ? 1 : 0)
       .num("total_ops", r.total_ops)
       .num("wall_seconds", r.wall_seconds)
       .num("ops_per_second", r.ops_per_second)
@@ -184,6 +193,8 @@ void report(const ConfigResult& r) {
       .num("queries", r.queries)
       .num("migrations", r.migrations)
       .num("churn_period_ms", r.churn_period_ms)
+      .num("hardware_concurrency", std::thread::hardware_concurrency())
+      .num("pinned", r.pinned ? 1 : 0)
       .print();
 }
 
@@ -326,6 +337,67 @@ void run_balancer_ab(std::uint64_t budget, bool balancer_on) {
       .print();
 }
 
+// --- sweep (g): pure-dispatch (no-op) microbench ------------------------------
+
+/// Isolates the queue-boundary overhead the batching work attacks: `total`
+/// no-op "ops" are pushed through a 1-shard WorkerPool either as one task
+/// per op (the unbatched path's shape: every op crosses the queue alone) or
+/// as one task per `batch` ops (the apply_batch shape: the crossing is
+/// amortized). The op body is a relaxed counter increment, so the measured
+/// per-op nanos are almost purely enqueue + dequeue + type-erasure cost —
+/// no BacklogDb work. The regression gate holds the single/batched ratio
+/// (>= 3x), which is machine-independent.
+void run_dispatch_overhead(std::uint64_t total, std::size_t batch) {
+  const std::size_t per_task = batch == 0 ? 1 : batch;
+  const std::uint64_t tasks = total / per_task;
+  std::atomic<std::uint64_t> done{0};
+
+  const double t0 = bench::now_seconds();
+  double wall = 0;
+  {
+    service::WorkerPool pool(1, /*bg_starvation_limit=*/8);
+    // Windowed backpressure: fence every 4096 tasks so the queue depth
+    // stays bounded — an unbounded producer would balloon the ring to the
+    // full op count and the measurement would charge ring growth (and at
+    // paper scale, hundreds of MB) to "dispatch overhead".
+    constexpr std::uint64_t kWindow = 4096;
+    for (std::uint64_t submitted = 0; submitted < tasks;) {
+      const std::uint64_t window = std::min(kWindow, tasks - submitted);
+      for (std::uint64_t i = 0; i < window; ++i) {
+        pool.submit(0, [&done, per_task] {
+          for (std::size_t j = 0; j < per_task; ++j)
+            done.fetch_add(1, std::memory_order_relaxed);
+        });
+      }
+      submitted += window;
+      // Sentinel after the flow-0 FIFO: its future resolving means every
+      // prior task of the window ran.
+      std::promise<void> fence;
+      std::future<void> fenced = fence.get_future();
+      pool.submit(0, [&fence] { fence.set_value(); });
+      fenced.get();
+    }
+    wall = bench::now_seconds() - t0;
+  }
+
+  const std::uint64_t ops = tasks * per_task;
+  const double nanos_per_op =
+      ops > 0 ? wall * 1e9 / static_cast<double>(ops) : 0;
+  std::printf("  mode=%-7s ops %10llu  tasks %10llu  wall %6.3f s  "
+              "%8.1f ns/op\n",
+              per_task == 1 ? "single" : "batched",
+              static_cast<unsigned long long>(ops),
+              static_cast<unsigned long long>(tasks), wall, nanos_per_op);
+  bench::JsonRow()
+      .str("bench", "service_dispatch")
+      .str("mode", per_task == 1 ? "single" : "batched")
+      .num("ops", ops)
+      .num("batch", static_cast<std::uint64_t>(per_task))
+      .num("wall_seconds", wall)
+      .num("nanos_per_op", nanos_per_op)
+      .print();
+}
+
 // --- sweep (f): clone cost — CoW vs full copy ---------------------------------
 
 /// Builds one `src` volume of ~`ops` block operations (committed and
@@ -432,8 +504,14 @@ int main() {
       "service_throughput — multi-tenant volume service scaling",
       "new scenario axis (no paper counterpart): shard + tenant scaling",
       scale);
-  std::printf("host hardware concurrency: %u\n\n",
-              std::thread::hardware_concurrency());
+  {
+    // One throwaway pool answers "did pinning take?" for the header line
+    // (run_config reports the same state per row).
+    service::WorkerPool probe(1, 8, 16, /*pin_threads=*/true);
+    std::printf("host hardware concurrency: %u, shard pinning: %s\n\n",
+                std::thread::hardware_concurrency(),
+                probe.pinned() ? "on" : "off (unsupported platform)");
+  }
 
   // Per-sweep op budget; BACKLOG_BENCH_SCALE=1 restores the full size.
   const std::uint64_t budget = 4096000 / scale.divisor;
@@ -451,6 +529,25 @@ int main() {
   if (ops_1_shard > 0) {
     std::printf("\n1 -> 4 shard speedup: %.2fx (target >= 2x on >= 4 cores)\n",
                 ops_4_shards / ops_1_shard);
+  }
+
+  std::printf("\nsweep (a2): same shard sweep through the batched verb "
+              "(apply_batch, 256 ops/batch)\n");
+  header_row();
+  double batched_1 = 0, batched_4 = 0;
+  for (const std::size_t shards : {1u, 2u, 4u, 8u}) {
+    const ConfigResult r =
+        run_config(shards, 16, budget, /*churn_period_ms=*/0,
+                   /*use_batch=*/true);
+    report(r);
+    if (shards == 1) batched_1 = r.ops_per_second;
+    if (shards == 4) batched_4 = r.ops_per_second;
+  }
+  if (batched_1 > 0) {
+    std::printf("\nbatched 1 -> 4 shard speedup: %.2fx (gated >= 2x on >= 4 "
+                "cores); batched vs unbatched at 4 shards: %.2fx\n",
+                batched_4 / batched_1,
+                ops_4_shards > 0 ? batched_4 / ops_4_shards : 0);
   }
 
   std::printf("\nsweep (b): tenants at 4 shards\n");
@@ -494,5 +591,11 @@ int main() {
       "\nsweep (f): clone cost — copy-on-write vs full copy over a 16x "
       "volume-size spread\n");
   run_clone_cost({budget / 16, budget / 4, budget});
+
+  std::printf(
+      "\nsweep (g): pure-dispatch microbench — queue overhead per op, one "
+      "task per op vs one task per 256 ops\n");
+  run_dispatch_overhead(budget, /*batch=*/1);
+  run_dispatch_overhead(budget, /*batch=*/256);
   return 0;
 }

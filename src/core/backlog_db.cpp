@@ -110,6 +110,23 @@ void BacklogDb::add_reference(const BackrefKey& key) {
   ++ops_since_cp_;
 }
 
+void BacklogDb::apply_many(std::span<const Update> ops) {
+  // Validate the whole batch before touching the write store: a bad op
+  // applies nothing (the batch is one unit; see the header contract).
+  std::uint64_t max_len = 0;
+  for (const Update& op : ops) {
+    if (op.key.length == 0)
+      throw std::invalid_argument("apply_many: zero-length extent");
+    if (op.key.length > options_.max_extent_blocks)
+      throw std::invalid_argument(
+          "apply_many: extent exceeds max_extent_blocks");
+    max_len = std::max(max_len, op.key.length);
+  }
+  max_extent_seen_ = std::max(max_extent_seen_, max_len);
+  ws_.apply_many(ops, registry_.current_cp());
+  ops_since_cp_ += ops.size();
+}
+
 void BacklogDb::remove_reference(const BackrefKey& key) {
   if (key.length == 0)
     throw std::invalid_argument("remove_reference: zero-length extent");

@@ -18,6 +18,7 @@
 #include <map>
 #include <memory>
 #include <optional>
+#include <span>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -185,6 +186,16 @@ class BacklogDb {
 
   /// Block-reference-removed callback: `key` died at the current CP.
   void remove_reference(const BackrefKey& key);
+
+  /// Batched update path: validate, stamp and buffer a whole batch of
+  /// add/remove callbacks in one call, amortizing the per-record epoch
+  /// lookup, extent bookkeeping and op accounting. Semantically equal to
+  /// issuing the calls in order, with one contract difference: the batch is
+  /// validated *up front*, so an invalid op (zero-length / oversized
+  /// extent) throws std::invalid_argument before anything is applied —
+  /// the sequential calls would apply the prefix. Used by the service's
+  /// apply()/apply_batch() verbs and the journal-replay recovery path.
+  void apply_many(std::span<const Update> ops);
 
   // --- consistency points ----------------------------------------------------
 

@@ -73,6 +73,15 @@ struct CombinedRecord {
   friend auto operator<=>(const CombinedRecord&, const CombinedRecord&) = default;
 };
 
+/// One update-path operation (§5 callbacks in value form): the element type
+/// of the batch verbs — BacklogDb::apply_many() in core and
+/// apply()/apply_batch() at the service layer (service::UpdateOp is an alias).
+struct Update {
+  enum class Kind : std::uint8_t { kAdd, kRemove };
+  Kind kind = Kind::kAdd;
+  BackrefKey key;
+};
+
 inline constexpr std::size_t kKeySize = 40;
 inline constexpr std::size_t kFromRecordSize = 48;
 inline constexpr std::size_t kToRecordSize = 48;

@@ -23,6 +23,25 @@ WsUpdate WriteStore::remove_reference(const BackrefKey& key, Epoch cp) {
   return WsUpdate::kInserted;
 }
 
+void WriteStore::apply_many(std::span<const Update> ops, Epoch cp) {
+  for (const Update& op : ops) {
+    if (op.kind == Update::Kind::kAdd) {
+      if (pruning_ && !to_.empty() && to_.erase(ToRecord{op.key, cp}) > 0) {
+        continue;  // reallocation within one CP: lifetime never ended
+      }
+      // end() hint: fresh blocks arrive in ascending order, so the common
+      // insert lands at the tail in O(1) amortized.
+      from_.insert(from_.end(), FromRecord{op.key, cp});
+    } else {
+      if (pruning_ && !from_.empty() &&
+          from_.erase(FromRecord{op.key, cp}) > 0) {
+        continue;  // add+remove in one CP annihilates
+      }
+      to_.insert(to_.end(), ToRecord{op.key, cp});
+    }
+  }
+}
+
 std::vector<std::uint8_t> WriteStore::encode_from_sorted() const {
   std::vector<std::uint8_t> out(from_.size() * kFromRecordSize);
   std::size_t pos = 0;

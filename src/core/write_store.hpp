@@ -19,6 +19,7 @@
 
 #include <cstdint>
 #include <set>
+#include <span>
 #include <vector>
 
 #include "core/backref_record.hpp"
@@ -42,6 +43,14 @@ class WriteStore {
 
   /// The reference to `key` died at the current CP `cp`.
   WsUpdate remove_reference(const BackrefKey& key, Epoch cp);
+
+  /// Bulk update: apply `ops` in order with exactly the same pruning rules
+  /// as the per-op calls, amortizing per-record overhead. All ops carry the
+  /// same epoch `cp` (the write-store invariant), so the per-op epoch stamp
+  /// and pruning-probe setup are paid once; inserts are hinted at the tail,
+  /// which is O(1) amortized for the dominant append pattern (fresh blocks
+  /// allocated monotonically) and falls back to O(log n) otherwise.
+  void apply_many(std::span<const Update> ops, Epoch cp);
 
   [[nodiscard]] std::size_t from_size() const noexcept { return from_.size(); }
   [[nodiscard]] std::size_t to_size() const noexcept { return to_.size(); }

@@ -8,7 +8,13 @@
 //    FIFO; a dedicated pacer thread releases waiters as tokens refill. When
 //    the wait queue is full the op is rejected immediately with
 //    ErrorCode::kThrottled (surfaced through the returned future) — the
-//    backpressure signal a client of the service is expected to handle;
+//    backpressure signal a client of the service is expected to handle.
+//    Batched verbs (apply_batch / query_batch) are one admission unit:
+//    the gate is consulted once with the batch's total cost, the batch
+//    occupies one wait-queue slot, and a rejection fails the whole batch
+//    with a single kThrottled — never a partial admit (oversized batches
+//    ride the TokenBucket debt rule below, so a batch larger than the
+//    burst cannot wedge the queue);
 //  * weighted-fair dequeue — every volume is its own flow in its shard's
 //    queue (see shard_queue.hpp), scheduled by stride over TenantQos::weight,
 //    so even an *unthrottled* tenant cannot monopolize a shard with sheer

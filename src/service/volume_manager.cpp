@@ -70,6 +70,9 @@ ServiceOptions validated(ServiceOptions options) {
     throw std::invalid_argument("ServiceOptions: shards must be > 0");
   if (options.root.empty())
     throw std::invalid_argument("ServiceOptions: root must be set");
+  if (options.dequeue_chunk == 0)
+    throw std::invalid_argument(
+        "ServiceOptions: dequeue_chunk must be > 0 (1 = unchunked dequeue)");
   if (options.db_options.cache_pages == 0)
     throw std::invalid_argument(
         "ServiceOptions: db_options.cache_pages must be > 0 (a hosted volume "
@@ -98,7 +101,8 @@ bool VolumeManager::flush_buffered_cp(Volume& v) {
 VolumeManager::VolumeManager(ServiceOptions options)
     : options_(validated(std::move(options))),
       shared_files_(options_.root),
-      pool_(options_.shards, options_.bg_starvation_limit) {
+      pool_(options_.shards, options_.bg_starvation_limit,
+            options_.dequeue_chunk, options_.pin_shards) {
   recover_clone_staging();
 }
 
@@ -215,7 +219,7 @@ std::vector<VolumeManager::VolumePlacement> VolumeManager::placements() const {
   std::shared_lock rlock(routing_mu_);
   out.reserve(volumes_.size());
   for (const auto& [name, vol] : volumes_) {
-    out.push_back({name, vol->shard,
+    out.push_back({name, vol->shard.load(std::memory_order_relaxed),
                    vol->dispatched_ops.load(std::memory_order_relaxed)});
   }
   return out;
@@ -246,7 +250,7 @@ std::vector<std::string> VolumeManager::tenants() const {
 std::size_t VolumeManager::current_shard(const std::string& tenant) const {
   const std::shared_ptr<Volume> vol = find(tenant);
   std::shared_lock lock(routing_mu_);
-  return vol->shard;
+  return vol->shard.load(std::memory_order_relaxed);
 }
 
 void VolumeManager::dispatch(const std::shared_ptr<Volume>& vol, Task task,
@@ -259,51 +263,22 @@ void VolumeManager::dispatch(const std::shared_ptr<Volume>& vol, Task task,
     vol->parked_tasks.push_back({std::move(task), background});
     return;
   }
+  const std::size_t shard = vol->shard.load(std::memory_order_relaxed);
   if (background) {
-    pool_.submit_background(vol->shard, std::move(task));
+    pool_.submit_background(shard, std::move(task));
   } else {
-    pool_.submit(vol->shard, std::move(task), vol->flow_id,
+    pool_.submit(shard, std::move(task), vol->flow_id,
                  vol->qos_weight.load(std::memory_order_relaxed));
   }
-}
-
-void VolumeManager::submit_chasing(std::shared_ptr<Volume> vol,
-                                   std::function<void(Volume&)> body,
-                                   bool background) {
-  Task task = [this, vol, body = std::move(body), background]() mutable {
-    bool stale = false;
-    {
-      std::shared_lock rl(routing_mu_);
-      // A migration's drain barrier only covers the foreground queue, so a
-      // *background* task can be popped by the old owner after the volume
-      // moved (shard mismatch) — or, worse, in the drain-to-flip window,
-      // where the shard field still points here but the target may take
-      // over the moment the drain's promise lands (parked flag). Either
-      // way the task must not touch the volume here. Foreground tasks can
-      // never be stale: FIFO puts them ahead of the drain, and they must
-      // run in place — re-parking them would reorder against operations
-      // parked at dispatch.
-      stale = vol->shard != WorkerPool::current_shard() ||
-              (background && vol->parked);
-    }
-    if (stale) {
-      // Chase the volume to its current home (or into the parked deque,
-      // which replays on the new owner). The routing-lock read above also
-      // carries the happens-before edge from the previous handoff.
-      submit_chasing(std::move(vol), std::move(body), background);
-      return;
-    }
-    body(*vol);
-  };
-  dispatch(vol, std::move(task), background);
 }
 
 void VolumeManager::open_volume(const std::string& tenant) {
   validate_tenant_name(tenant);
   auto vol = std::make_shared<Volume>();
   vol->tenant = tenant;
-  vol->shard = shard_of(tenant);
-  vol->stats.shard = vol->shard;
+  const std::size_t home = shard_of(tenant);
+  vol->shard.store(home, std::memory_order_relaxed);
+  vol->stats.shard = home;
   vol->flow_id = next_flow_id_.fetch_add(1, std::memory_order_relaxed);
   {
     std::lock_guard lock(mu_);
@@ -444,6 +419,47 @@ std::future<void> VolumeManager::apply(const std::string& tenant,
       /*background=*/false, ops_cost, bytes_cost);
 }
 
+std::future<void> VolumeManager::apply_batch(const std::string& tenant,
+                                             std::vector<UpdateOp> batch) {
+  // One boundary crossing for the whole batch: the gate is charged once
+  // with the batch's total cost, and the batch rides as a single task with
+  // a single promise. The shard applies it through BacklogDb::apply_many
+  // (validate → stamp → bulk insert), so the per-op path has no routing,
+  // allocation or virtual-dispatch overhead left — only write-store work.
+  const double ops_cost = static_cast<double>(batch.size());
+  const double bytes_cost = ops_cost * core::kFromRecordSize;
+  return run_on(
+      find(tenant),
+      [batch = std::move(batch)](Volume& v) {
+        const std::uint64_t t0 = now_micros();
+        v.db->apply_many(batch);
+        v.stats.updates += batch.size();
+        ++v.stats.batches;
+        v.stats.update_batch_micros.record(now_micros() - t0);
+      },
+      /*background=*/false, ops_cost, bytes_cost);
+}
+
+std::future<std::vector<std::vector<core::BackrefEntry>>>
+VolumeManager::query_batch(const std::string& tenant,
+                           std::vector<QueryRange> ranges) {
+  const double ops_cost = static_cast<double>(ranges.size());
+  return run_on(
+      find(tenant),
+      [ranges = std::move(ranges)](Volume& v) {
+        std::vector<std::vector<core::BackrefEntry>> out;
+        out.reserve(ranges.size());
+        for (const QueryRange& r : ranges) {
+          const std::uint64_t t0 = now_micros();
+          out.push_back(v.db->query(r.first, r.count, r.opts));
+          ++v.stats.queries;
+          v.stats.query_micros.record(now_micros() - t0);
+        }
+        return out;
+      },
+      /*background=*/false, ops_cost);
+}
+
 std::future<core::CpFlushStats> VolumeManager::consistency_point(
     const std::string& tenant) {
   return run_on(find(tenant), [](Volume& v) {
@@ -524,8 +540,9 @@ core::LineId VolumeManager::clone_volume(const std::string& src_tenant,
   // open_volume() has.
   auto dst = std::make_shared<Volume>();
   dst->tenant = dst_tenant;
-  dst->shard = shard_of(dst_tenant);
-  dst->stats.shard = dst->shard;
+  const std::size_t dst_home = shard_of(dst_tenant);
+  dst->shard.store(dst_home, std::memory_order_relaxed);
+  dst->stats.shard = dst_home;
   dst->flow_id = next_flow_id_.fetch_add(1, std::memory_order_relaxed);
   {
     std::lock_guard lock(mu_);
@@ -696,8 +713,8 @@ MigrationStats VolumeManager::migrate_volume(const std::string& tenant,
     if (vol->parked)
       throw std::logic_error("migrate_volume: handoff already in flight: " +
                              tenant);
-    ms.source_shard = vol->shard;
-    if (vol->shard == target_shard) return ms;  // already there
+    ms.source_shard = vol->shard.load(std::memory_order_relaxed);
+    if (ms.source_shard == target_shard) return ms;  // already there
     vol->parked = true;
   }
 
@@ -778,7 +795,7 @@ MigrationStats VolumeManager::migrate_volume(const std::string& tenant,
   // so the BacklogDb handle moves shards without any lock of its own.
   {
     std::unique_lock lock(routing_mu_);
-    vol->shard = target_shard;
+    vol->shard.store(target_shard, std::memory_order_relaxed);
     replay(target_shard);
   }
   ms.moved = true;
@@ -890,7 +907,8 @@ ServiceStats VolumeManager::stats() {
   {
     std::lock_guard lock(mu_);
     std::shared_lock rlock(routing_mu_);
-    for (const auto& [name, vol] : volumes_) by_shard[vol->shard].push_back(vol);
+    for (const auto& [name, vol] : volumes_)
+      by_shard[vol->shard.load(std::memory_order_relaxed)].push_back(vol);
   }
   ServiceStats out;
   for (std::size_t shard = 0; shard < by_shard.size(); ++shard) {

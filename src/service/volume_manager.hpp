@@ -77,6 +77,16 @@ struct ServiceOptions {
   /// run after this many consecutive foreground tasks.
   std::size_t bg_starvation_limit = 8;
 
+  /// Chunked dequeue: a worker drains up to this many tasks from its queue
+  /// per lock acquisition and runs them without re-locking (1 restores the
+  /// one-pop-per-task behaviour). See shard_queue.hpp.
+  std::size_t dequeue_chunk = 16;
+
+  /// Pin each shard's worker thread to CPU (shard mod hardware cores) via
+  /// pthread_setaffinity_np, keeping a shard's working set on one core's
+  /// caches. Linux-only; silently unpinned elsewhere (see shards_pinned()).
+  bool pin_shards = false;
+
   /// How often the QoS pacer re-checks throttled volumes' wait queues. The
   /// pacer thread only exists once some volume has a QoS configured.
   std::chrono::milliseconds qos_pacer_interval{1};
@@ -119,11 +129,17 @@ struct MaintenancePolicy {
   std::chrono::milliseconds poll_interval{20};
 };
 
-/// One batched update-path operation (§5 callbacks, service form).
-struct UpdateOp {
-  enum class Kind : std::uint8_t { kAdd, kRemove };
-  Kind kind = Kind::kAdd;
-  core::BackrefKey key;
+/// One batched update-path operation (§5 callbacks, service form). The
+/// value type now lives in core (core::Update) so BacklogDb::apply_many can
+/// take the service's batches without a copy; the alias keeps every
+/// existing spelling (`service::UpdateOp::Kind::kAdd`) working.
+using UpdateOp = core::Update;
+
+/// One owner-query range of a query_batch() call.
+struct QueryRange {
+  core::BlockNo first = 0;
+  std::uint64_t count = 1;
+  core::QueryOptions opts{};
 };
 
 /// Outcome of migrate_volume().
@@ -159,6 +175,10 @@ class VolumeManager {
   // --- routing ---------------------------------------------------------------
 
   [[nodiscard]] std::size_t shard_count() const noexcept { return pool_.size(); }
+
+  /// Whether ServiceOptions::pin_shards was requested *and* applied to
+  /// every worker thread (false on platforms without thread affinity).
+  [[nodiscard]] bool shards_pinned() const noexcept { return pool_.pinned(); }
 
   /// Deterministic tenant -> *initial* shard route: a platform-stable hash
   /// of the tenant name, so the same tenant lands on the same shard across
@@ -198,9 +218,25 @@ class VolumeManager {
   /// Apply a batch of add/remove callbacks in order on the tenant's shard.
   /// On a per-op validation failure the future carries the exception and the
   /// batch is applied only up to the failing op (same contract as issuing
-  /// the calls directly).
+  /// the calls directly). Prefer apply_batch() on the hot path: same
+  /// routing cost, but the batch is applied through BacklogDb::apply_many
+  /// and validated as one unit.
   std::future<void> apply(const std::string& tenant,
                           std::vector<UpdateOp> batch);
+
+  /// The batched update verb (the future wire protocol's RPC shape): the
+  /// whole batch crosses the routing/QoS/queue boundary once — one gate
+  /// charge with the batch's total cost, one task, one promise — and is
+  /// applied via BacklogDb::apply_many. Ordering: the batch occupies a
+  /// single slot in the tenant's FIFO, atomically ordered against
+  /// interleaved apply()/query() calls and preserved across live
+  /// migrations (a batch is parked/replayed as one unit, never split).
+  /// Unlike apply(), validation is up front: an invalid op fails the whole
+  /// batch with std::invalid_argument and nothing is applied. A batch
+  /// rejected by QoS carries ServiceError(kThrottled) once, covering every
+  /// constituent op; nothing is partially admitted.
+  std::future<void> apply_batch(const std::string& tenant,
+                                std::vector<UpdateOp> batch);
 
   std::future<core::CpFlushStats> consistency_point(const std::string& tenant);
 
@@ -315,6 +351,14 @@ class VolumeManager {
       const std::string& tenant, core::BlockNo first, std::uint64_t count = 1,
       core::QueryOptions opts = {});
 
+  /// Batched owner queries: all of `ranges` execute in one task on the
+  /// tenant's shard (one QoS charge of ranges.size() ops, one promise);
+  /// result i answers ranges[i]. Like any foreground task the batch sits in
+  /// the tenant's FIFO, so it observes every update applied before it was
+  /// submitted — the batch counterpart of query().
+  std::future<std::vector<std::vector<core::BackrefEntry>>> query_batch(
+      const std::string& tenant, std::vector<QueryRange> ranges);
+
   std::future<std::vector<core::CombinedRecord>> scan_all(
       const std::string& tenant);
 
@@ -373,8 +417,11 @@ class VolumeManager {
     // Routing state, guarded by routing_mu_: `shard` is where tasks enqueue,
     // `parked` is set for the duration of a migration handoff. The parked
     // deque has its own tiny mutex because parkers only hold routing_mu_
-    // shared.
-    std::size_t shard = 0;
+    // shared. `shard` is atomic only so the submit path can take one
+    // *relaxed* peek outside the lock (the queue-depth heuristic in
+    // run_on); every routing decision still reads it under routing_mu_,
+    // which carries the ordering.
+    std::atomic<std::size_t> shard{0};
     bool parked = false;
     std::mutex park_mu;
     std::deque<ParkedTask> parked_tasks;
@@ -418,8 +465,42 @@ class VolumeManager {
   /// the new owner. The wrapper detects that (current_shard() no longer
   /// matches the routing table) and re-dispatches itself to chase the
   /// volume to its new home instead of running.
-  void submit_chasing(std::shared_ptr<Volume> vol,
-                      std::function<void(Volume&)> body, bool background);
+  ///
+  /// Templated on the body so the whole wrapper is one concrete lambda
+  /// stored directly in an InlineTask — the enqueue path never builds a
+  /// std::function and never allocates for the common verb shapes (the
+  /// allocation-freedom half of the batching PR; task.hpp has the sizing).
+  template <typename Body>
+  void submit_chasing(std::shared_ptr<Volume> vol, Body body,
+                      bool background) {
+    Task task = [this, vol, body = std::move(body), background]() mutable {
+      bool stale = false;
+      {
+        std::shared_lock rl(routing_mu_);
+        // A migration's drain barrier only covers the foreground queue, so
+        // a *background* task can be popped by the old owner after the
+        // volume moved (shard mismatch) — or, worse, in the drain-to-flip
+        // window, where the shard field still points here but the target
+        // may take over the moment the drain's promise lands (parked
+        // flag). Either way the task must not touch the volume here.
+        // Foreground tasks can never be stale: FIFO puts them ahead of the
+        // drain, and they must run in place — re-parking them would
+        // reorder against operations parked at dispatch.
+        stale = vol->shard.load(std::memory_order_relaxed) !=
+                    WorkerPool::current_shard() ||
+                (background && vol->parked);
+      }
+      if (stale) {
+        // Chase the volume to its current home (or into the parked deque,
+        // which replays on the new owner). The routing-lock read above
+        // also carries the happens-before edge from the previous handoff.
+        submit_chasing(std::move(vol), std::move(body), background);
+        return;
+      }
+      body(*vol);
+    };
+    dispatch(vol, std::move(task), background);
+  }
 
   /// Run `fn(Volume&)` on the volume's shard; the future carries the result
   /// or the exception. Tasks capture the Volume by shared_ptr, so a volume
@@ -440,16 +521,28 @@ class VolumeManager {
     using R = std::invoke_result_t<Fn&, Volume&>;
     auto prom = std::make_shared<std::promise<R>>();
     std::future<R> fut = prom->get_future();
-    // Foreground tasks stamp their submission time so the shard can record
-    // the queue wait (gate + shard queue) — the latency a client actually
-    // feels on top of execution. Background probes idle by design; their
+    // Queue-wait accounting without double timestamping: a foreground task
+    // stamps its submission time only when it can actually wait — a QoS
+    // gate is armed or the target shard's queue is non-empty (one relaxed
+    // peek; racy, but this is a stats heuristic). The execute side then
+    // reuses the worker loop's task-boundary timestamp instead of reading
+    // the clock again, so the common uncontended op pays for *zero* extra
+    // clock reads instead of two. Background probes idle by design; their
     // wait would only pollute the histogram.
-    const std::uint64_t t_submit = background ? 0 : util::now_micros();
-    std::function<void(Volume&)> body = [fn = std::move(fn), prom,
-                                         t_submit](Volume& v) mutable {
+    std::uint64_t t_submit = 0;
+    if (!background &&
+        (vol->gate.gated() ||
+         pool_.queue_depth_approx(
+             vol->shard.load(std::memory_order_relaxed)) > 0)) {
+      t_submit = util::now_micros();
+    }
+    auto body = [fn = std::move(fn), prom, t_submit](Volume& v) mutable {
       try {
-        if (t_submit != 0)
-          v.stats.queue_wait_micros.record(util::now_micros() - t_submit);
+        if (t_submit != 0) {
+          const std::uint64_t now = WorkerPool::dispatch_time_micros();
+          v.stats.queue_wait_micros.record(now > t_submit ? now - t_submit
+                                                          : 0);
+        }
         if (v.db == nullptr)
           throw std::logic_error("volume is closed: " + v.tenant);
         if constexpr (std::is_void_v<R>) {

@@ -2,33 +2,101 @@
 
 #include "util/clock.hpp"
 
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+#endif
+
 namespace backlog::service {
 
 namespace {
 thread_local std::size_t tls_shard = WorkerPool::kNoShard;
+thread_local std::uint64_t tls_dispatch_micros = 0;
+
+#if defined(__linux__)
+/// CPUs the process may actually run on, in id order. Containers and
+/// cpuset cgroups hand out non-contiguous masks (e.g. {0, 2}), so pinning
+/// must enumerate the allowed set rather than assume ids 0..n-1.
+std::vector<int> allowed_cpus() {
+  std::vector<int> out;
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  if (sched_getaffinity(0, sizeof set, &set) != 0) return out;
+  for (int cpu = 0; cpu < CPU_SETSIZE; ++cpu) {
+    if (CPU_ISSET(cpu, &set)) out.push_back(cpu);
+  }
+  return out;
+}
+
+bool pin_to_cpu(std::thread& t, int cpu) {
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  CPU_SET(cpu, &set);
+  return pthread_setaffinity_np(t.native_handle(), sizeof set, &set) == 0;
+}
+#endif
 }  // namespace
 
 std::size_t WorkerPool::current_shard() noexcept { return tls_shard; }
 
-WorkerPool::WorkerPool(std::size_t shards, std::size_t bg_starvation_limit) {
+std::uint64_t WorkerPool::dispatch_time_micros() noexcept {
+  return tls_dispatch_micros;
+}
+
+WorkerPool::WorkerPool(std::size_t shards, std::size_t bg_starvation_limit,
+                       std::size_t dequeue_chunk, bool pin_threads) {
+  const std::size_t chunk = dequeue_chunk == 0 ? 1 : dequeue_chunk;
   shards_.reserve(shards);
   for (std::size_t i = 0; i < shards; ++i) {
     shards_.push_back(std::make_unique<Shard>(bg_starvation_limit));
     Shard* s = shards_.back().get();
     // Tasks are exception-safe wrappers (they route failures into their
     // promise), so the drain loop itself never needs a try/catch.
-    s->thread = std::thread([s, i] {
+    s->thread = std::thread([s, i, chunk] {
       tls_shard = i;
-      while (Task t = s->queue.pop()) {
-        const std::uint64_t t0 = util::now_micros();
-        t();
-        const std::uint64_t d = util::now_micros() - t0;
-        const std::uint64_t old =
-            s->ewma_micros.load(std::memory_order_relaxed);
-        s->ewma_micros.store(old == 0 ? d : (7 * old + d) / 8,
-                             std::memory_order_relaxed);
+      std::vector<Task> tasks;
+      tasks.reserve(chunk);
+      for (;;) {
+        tasks.clear();
+        const std::size_t n = s->queue.pop_many(tasks, chunk);
+        if (n == 0) break;  // closed + drained
+        // The popped chunk no longer counts in the queue's depth, but a
+        // submitter still waits behind it — keep it visible to the
+        // queue_depth_approx busyness heuristic until each task finishes.
+        s->inflight.store(n, std::memory_order_relaxed);
+        // One clock read per task boundary: t_prev is both the start of the
+        // next task (exported through dispatch_time_micros for queue-wait
+        // accounting) and the end of the previous one (EWMA input). The
+        // refresh after the blocking pop keeps idle wait out of the first
+        // task's measurement.
+        std::uint64_t t_prev = util::now_micros();
+        for (Task& t : tasks) {
+          tls_dispatch_micros = t_prev;
+          t();
+          t = Task{};  // release captures now, not at the next blocking pop
+          s->inflight.fetch_sub(1, std::memory_order_relaxed);
+          const std::uint64_t t_end = util::now_micros();
+          const std::uint64_t d = t_end - t_prev;
+          t_prev = t_end;
+          const std::uint64_t old =
+              s->ewma_micros.load(std::memory_order_relaxed);
+          s->ewma_micros.store(old == 0 ? d : (7 * old + d) / 8,
+                               std::memory_order_relaxed);
+        }
       }
     });
+  }
+  if (pin_threads) {
+#if defined(__linux__)
+    const std::vector<int> cpus = allowed_cpus();
+    if (!cpus.empty()) {
+      pinned_ = true;
+      for (std::size_t i = 0; i < shards_.size(); ++i) {
+        pinned_ =
+            pin_to_cpu(shards_[i]->thread, cpus[i % cpus.size()]) && pinned_;
+      }
+    }
+#endif
   }
 }
 

@@ -8,6 +8,22 @@
 // drain/replay handoff guarantees the old and new owner never touch the
 // volume concurrently.
 //
+// Drain loop (the batching PR): the worker pops tasks in chunks of
+// `dequeue_chunk` via ShardQueue::pop_many — one mutex/condvar round-trip
+// per chunk instead of per task — and runs the chunk lock-free. The loop
+// also owns the hot path's only clock reads: it timestamps once per task
+// *boundary* (task i's end is task i+1's start), feeding both the per-shard
+// execution-time EWMA and, through dispatch_time_micros(), the queue-wait
+// histograms — the submit path no longer re-reads the clock at execution.
+//
+// With `pin_threads`, shard i is pinned via pthread_setaffinity_np to the
+// i-th (mod count) CPU of the process's *allowed* set — enumerated from
+// sched_getaffinity, so cpuset-restricted containers with non-contiguous
+// masks pin correctly. A shard's working set (write stores, page cache
+// shards, queue) then stays on one core's caches instead of bouncing
+// wherever the scheduler wanders (first step of the ROADMAP's NUMA-aware
+// placement; Linux-only, silently unpinned elsewhere).
+//
 // Each shard additionally maintains two cheap load signals for the
 // Balancer: its queue depth (pending tasks) and an EWMA of task execution
 // time, updated by the worker thread after every task (alpha = 1/8, relaxed
@@ -27,7 +43,8 @@ namespace backlog::service {
 
 class WorkerPool {
  public:
-  WorkerPool(std::size_t shards, std::size_t bg_starvation_limit);
+  WorkerPool(std::size_t shards, std::size_t bg_starvation_limit,
+             std::size_t dequeue_chunk = 16, bool pin_threads = false);
   /// Closes every queue, drains pending tasks, joins the threads.
   ~WorkerPool();
 
@@ -35,6 +52,9 @@ class WorkerPool {
   WorkerPool& operator=(const WorkerPool&) = delete;
 
   [[nodiscard]] std::size_t size() const noexcept { return shards_.size(); }
+
+  /// True when thread pinning was requested and applied to every shard.
+  [[nodiscard]] bool pinned() const noexcept { return pinned_; }
 
   /// Sentinel returned by current_shard() off the pool's threads.
   static constexpr std::size_t kNoShard = static_cast<std::size_t>(-1);
@@ -44,6 +64,12 @@ class WorkerPool {
   /// its volume — possible for background tasks, which can linger in the
   /// low-priority queue past a migration's foreground drain barrier.
   [[nodiscard]] static std::size_t current_shard() noexcept;
+
+  /// Monotonic micros at which the currently executing task was handed to
+  /// its task body (the worker's task-boundary timestamp). Only meaningful
+  /// on a pool thread, from inside a task: bodies use it to compute queue
+  /// wait without a second clock read. 0 off the pool's threads.
+  [[nodiscard]] static std::uint64_t dispatch_time_micros() noexcept;
 
   /// `flow`/`weight`: the weighted-fair scheduling identity of the task
   /// (one flow per volume; see shard_queue.hpp).
@@ -61,6 +87,17 @@ class WorkerPool {
     return shards_[shard]->queue.depth();
   }
 
+  /// Lock-free busyness approximation — the submit path's "will this task
+  /// actually wait?" heuristic. Counts queued tasks (ShardQueue::
+  /// depth_approx) plus the worker's popped-but-not-finished chunk
+  /// remainder: a task submitted while a chunk (or one long task) executes
+  /// waits behind it even though the queue itself reads empty.
+  [[nodiscard]] std::size_t queue_depth_approx(std::size_t shard) const {
+    const Shard& s = *shards_[shard];
+    return s.queue.depth_approx() +
+           s.inflight.load(std::memory_order_relaxed);
+  }
+
   /// EWMA of this shard's task execution time in microseconds (0 until the
   /// shard has run its first task).
   [[nodiscard]] std::uint64_t latency_ewma_micros(std::size_t shard) const {
@@ -71,6 +108,9 @@ class WorkerPool {
   struct Shard {
     ShardQueue queue;
     std::atomic<std::uint64_t> ewma_micros{0};
+    /// Tasks of the current chunk popped from the queue but not yet
+    /// finished (set by the worker after pop_many, decremented per task).
+    std::atomic<std::size_t> inflight{0};
     std::thread thread;
 
     explicit Shard(std::size_t bg_starvation_limit)
@@ -78,6 +118,7 @@ class WorkerPool {
   };
 
   std::vector<std::unique_ptr<Shard>> shards_;
+  bool pinned_ = false;
 };
 
 }  // namespace backlog::service

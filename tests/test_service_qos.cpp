@@ -304,6 +304,71 @@ TEST(ServiceQos, InvalidConfigsAreRejected) {
   EXPECT_THROW(vm.set_qos("nobody", {}), std::invalid_argument);
 }
 
+// --- batched verbs through the gate ------------------------------------------
+
+TEST(ServiceQos, ApplyBatchIsChargedOnceAndRejectedAtomically) {
+  bs::TempDir dir;
+  bsvc::VolumeManager vm(service_options(dir, 1));
+  vm.open_volume("frozen");
+
+  bsvc::TenantQos qos;
+  qos.ops_per_sec = 0;
+  qos.burst_ops = 0;   // fully throttled: nothing is ever admitted
+  qos.max_wait_queue = 1;
+  vm.set_qos("frozen", qos);
+
+  // Batch 1 queues as ONE waiter (one gate charge for its 8 ops); batch 2
+  // overflows the depth-1 wait queue and is rejected as one unit: its
+  // future carries kThrottled exactly once and none of its ops is ever
+  // admitted, half-applied or retried by the service.
+  auto queued = vm.apply_batch("frozen", batch_of(100, 8));
+  auto rejected = vm.apply_batch("frozen", batch_of(200, 8));
+  EXPECT_TRUE(is_throttled(rejected));
+
+  auto snap = vm.qos("frozen");
+  EXPECT_EQ(snap.wait_depth, 1u);  // the whole batch is one waiter
+  EXPECT_EQ(snap.queued, 1u);
+  EXPECT_EQ(snap.rejected, 1u);  // one rejection event for the whole batch
+  EXPECT_EQ(vm.stats().tenants.at("frozen").updates, 0u);
+
+  // Release: the queued batch applies completely; the rejected one left no
+  // trace (no op from the 200-block range), and a retry succeeds.
+  vm.clear_qos("frozen");
+  EXPECT_NO_THROW(queued.get());
+  for (int i = 0; i < 8; ++i)
+    EXPECT_EQ(vm.query("frozen", 100 + i).get().size(), 1u) << i;
+  EXPECT_TRUE(vm.query("frozen", 200).get().empty());
+  EXPECT_NO_THROW(vm.apply_batch("frozen", batch_of(200, 8)).get());
+  EXPECT_EQ(vm.stats().tenants.at("frozen").updates, 16u);
+}
+
+TEST(ServiceQos, ApplyBatchQueuesBehindThrottledSinglesInOrder) {
+  bs::TempDir dir;
+  bsvc::VolumeManager vm(service_options(dir, 1));
+  vm.open_volume("alice");
+
+  bsvc::TenantQos qos;
+  qos.ops_per_sec = 0;
+  qos.burst_ops = 1;  // the first single rides the burst, the rest queue
+  qos.max_wait_queue = 1024;
+  vm.set_qos("alice", qos);
+
+  auto s1 = vm.apply("alice", {add(1)});
+  auto s2 = vm.apply("alice", {add(2)});
+  auto b = vm.apply_batch("alice", {add(3), add(4)});
+  // A CP submitted behind the throttled batch must not jump ahead of it:
+  // when it completes, every earlier update is committed.
+  auto cp = vm.consistency_point("alice");
+
+  vm.clear_qos("alice");
+  EXPECT_NO_THROW(s1.get());
+  EXPECT_NO_THROW(s2.get());
+  EXPECT_NO_THROW(b.get());
+  cp.get();
+  for (int blk = 1; blk <= 4; ++blk)
+    EXPECT_EQ(vm.query("alice", blk).get().size(), 1u) << blk;
+}
+
 // --- fleet shapes ------------------------------------------------------------
 
 TEST(FleetShapes, SynthesisSplitsTheBudgetPerShape) {

@@ -385,7 +385,14 @@ TEST_P(ServiceVersions, RandomizedVerbsMatchNaiveModel) {
         batch.push_back(op);
         structural.push_back(false);
       }
-      vm.apply(t, batch).get();
+      // Randomly coalesce the update window into the batched verb: both
+      // paths must be indistinguishable to the model (apply_batch applies
+      // via BacklogDb::apply_many — same pruning, same FIFO slot).
+      if (rng.below(2) == 0) {
+        vm.apply_batch(t, batch).get();
+      } else {
+        vm.apply(t, batch).get();
+      }
       for (std::size_t i = 0; i < batch.size(); ++i) {
         model_apply(m, batch[i], structural[i]);
       }

@@ -8,12 +8,16 @@
 //   backlogctl scan <dir>                  dump every joined record
 //   backlogctl maintain <dir>              run database maintenance (§5.2)
 //   backlogctl dump-run <dir> <file>       decode one run file's records
-//   backlogctl stress <dir> <tenants> <ops> [shards]
+//   backlogctl stress <dir> <tenants> <ops> [shards] [--batch N]
 //                                          drive the multi-tenant volume
 //                                          service: <tenants> volumes under
 //                                          <dir>, ~<ops> block ops total,
 //                                          concurrent replay + background
-//                                          maintenance, throughput report
+//                                          maintenance, throughput report.
+//                                          --batch N feeds N-op batches
+//                                          through the batched hot-path
+//                                          verb (apply_batch) instead of
+//                                          apply()'s per-op loop
 //   backlogctl snap <root> <tenant> [line]
 //                                          take + commit a snapshot of the
 //                                          tenant's line (default 0)
@@ -87,7 +91,7 @@ int usage() {
                "stress|snap|clone|destroy|migrate|qos|balance> <dir> [args]\n"
                "       backlogctl query|raw <dir> <block> [count]\n"
                "       backlogctl dump-run <dir> <file>\n"
-               "       backlogctl stress <dir> <tenants> <ops> [shards]\n"
+               "       backlogctl stress <dir> <tenants> <ops> [shards] [--batch N]\n"
                "       backlogctl snap <root> <tenant> [line]\n"
                "       backlogctl clone <root> <src> <dst> [line [version]]\n"
                "       backlogctl destroy <root> <tenant> [shards]\n"
@@ -236,7 +240,7 @@ int cmd_dump_run(storage::Env& env, const std::string& file) {
 }
 
 int cmd_stress(const char* dir, std::uint64_t tenants, std::uint64_t total_ops,
-               std::uint64_t shards) {
+               std::uint64_t shards, std::uint64_t batch) {
   if (tenants == 0 || total_ops == 0 || shards == 0) return usage();
 
   service::ServiceOptions so;
@@ -265,6 +269,10 @@ int cmd_stress(const char* dir, std::uint64_t tenants, std::uint64_t total_ops,
   const auto t0 = std::chrono::steady_clock::now();
   fsim::ReplayOptions ro;
   ro.query_every_ops = 64;
+  if (batch > 0) {
+    ro.batch_ops = batch;
+    ro.use_apply_batch = true;  // the batched hot-path verb (apply_batch)
+  }
   const auto results = fsim::replay_concurrently(vm, workloads, ro);
   const double wall =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
@@ -278,6 +286,8 @@ int cmd_stress(const char* dir, std::uint64_t tenants, std::uint64_t total_ops,
               static_cast<unsigned long long>(shards));
   std::printf("tenants:           %llu\n",
               static_cast<unsigned long long>(tenants));
+  std::printf("update verb:       %s\n",
+              batch > 0 ? "apply_batch (batched hot path)" : "apply");
   std::printf("block ops:         %" PRIu64 " in %.2f s (%.0f ops/s)\n", ops,
               wall, wall > 0 ? ops / wall : 0.0);
   std::printf("queries:           %" PRIu64 " (p50 %" PRIu64 " us, p99 %" PRIu64
@@ -533,14 +543,22 @@ int main(int argc, char** argv) {
       cmd == "migrate" || cmd == "qos" || cmd == "balance") {
     try {
       if (cmd == "stress") {
+        // Trailing option: --batch N routes the replay through apply_batch
+        // with N-op batches (0/absent = the per-op apply loop).
+        std::uint64_t batch = 0;
+        int end = argc;
+        if (argc >= 7 && std::strcmp(argv[argc - 2], "--batch") == 0) {
+          if (!parse_u64(argv[argc - 1], batch, 1, 1 << 20)) return usage();
+          end = argc - 2;
+        }
         std::uint64_t tenants = 0, ops = 0, shards = 4;
-        if (argc < 5 || argc > 6 ||
+        if (end < 5 || end > 6 ||
             !parse_u64(argv[3], tenants, 1, 1 << 16) ||
             !parse_u64(argv[4], ops, 1) ||
-            (argc > 5 && !parse_u64(argv[5], shards, 1, 1024))) {
+            (end > 5 && !parse_u64(argv[5], shards, 1, 1024))) {
           return usage();
         }
-        return cmd_stress(argv[2], tenants, ops, shards);
+        return cmd_stress(argv[2], tenants, ops, shards, batch);
       }
       if (cmd == "snap") {
         std::uint64_t line = 0;

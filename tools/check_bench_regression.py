@@ -41,7 +41,7 @@ def load_rows(path):
 
 
 KEY_FIELDS = ("bench", "shards", "tenants", "churn_period_ms", "qos",
-              "balancer")
+              "balancer", "batched")
 
 
 def keyed_rows(rows):
@@ -99,11 +99,71 @@ def check_clone_cost(rows, min_speedup=4.0, max_flatness=6.0):
     return failures
 
 
+def check_shard_scaling(rows, floor=2.0):
+    """Shard-scaling gate on the *batched* sweep of the current run alone:
+    aggregate ops/s at 4 shards must be at least `floor` x the 1-shard row.
+    The property is a shape, not an absolute speed — but it only exists on
+    hardware that can actually run 4 shard threads in parallel, so the gate
+    self-skips when the run reports hardware_concurrency < 4 (the bench
+    stamps every service_throughput row with it)."""
+    sweep = [r for r in rows
+             if r.get("bench") == "service_throughput"
+             and r.get("batched") == 1 and r.get("tenants") == 16
+             and r.get("churn_period_ms") == 0]
+    if not sweep:
+        print("note: no batched shard-sweep rows — scaling gate skipped")
+        return []
+    hc = sweep[0].get("hardware_concurrency")
+    if hc is None or hc < 4:
+        print(f"note: hardware_concurrency={hc} < 4 — shard-scaling gate "
+              "skipped (thread-per-shard cannot scale on this host)")
+        return []
+    by_shards = {r["shards"]: r["ops_per_second"] for r in sweep}
+    if 1 not in by_shards or 4 not in by_shards:
+        print("note: batched sweep lacks the 1- or 4-shard row — "
+              "scaling gate skipped")
+        return []
+    ratio = by_shards[4] / by_shards[1] if by_shards[1] > 0 else 0
+    status = "FAIL" if ratio < floor else "ok"
+    print(f"{status}: batched 1->4 shard scaling: {ratio:.2f}x "
+          f"(gate >= {floor}x on a {hc}-core host)")
+    if ratio < floor:
+        return [f"batched 1->4 shard scaling {ratio:.2f}x < {floor}x"]
+    return []
+
+
+def check_dispatch_overhead(rows, min_ratio=3.0):
+    """Dispatch-overhead ceiling from the pure no-op microbench (sweep g),
+    on the current run alone: the batched path's per-op queue overhead must
+    be at least `min_ratio` x smaller than one-task-per-op dispatch. A pure
+    ratio of two same-machine measurements, so runner speed is factored
+    out."""
+    modes = {r.get("mode"): r for r in rows
+             if r.get("bench") == "service_dispatch"}
+    if "single" not in modes or "batched" not in modes:
+        print("note: no service_dispatch rows — dispatch gate skipped")
+        return []
+    single = modes["single"].get("nanos_per_op", 0)
+    batched = modes["batched"].get("nanos_per_op", 0)
+    if batched <= 0:
+        print("note: degenerate dispatch measurement — gate skipped")
+        return []
+    ratio = single / batched
+    status = "FAIL" if ratio < min_ratio else "ok"
+    print(f"{status}: dispatch overhead single/batched: {single:.0f} / "
+          f"{batched:.0f} ns/op = {ratio:.1f}x (gate >= {min_ratio}x)")
+    if ratio < min_ratio:
+        return [f"dispatch overhead reduction {ratio:.1f}x < {min_ratio}x"]
+    return []
+
+
 def reference_ops(rows):
-    """ops_per_second of the 1-shard/16-tenant sweep-(a) row."""
+    """ops_per_second of the (unbatched) 1-shard/16-tenant sweep-(a) row.
+    `batched` is absent in pre-batching baselines, hence the (0, None)."""
     for row in rows:
         if (row.get("bench") == "service_throughput"
-                and row.get("shards") == 1 and row.get("churn_period_ms") == 0):
+                and row.get("shards") == 1 and row.get("churn_period_ms") == 0
+                and row.get("batched") in (0, None)):
             return row["ops_per_second"]
     return None
 
@@ -160,6 +220,8 @@ def main():
             failures.append(tag)
 
     failures.extend(check_clone_cost(cur_rows))
+    failures.extend(check_shard_scaling(cur_rows))
+    failures.extend(check_dispatch_overhead(cur_rows))
 
     if checked == 0:
         sys.exit("error: no comparable rows between baseline and current run")
