@@ -57,7 +57,21 @@ struct ConfigResult {
   double ops_per_second = 0;
   std::uint64_t p99_query_micros = 0;
   std::uint64_t p50_query_micros = 0;
+  std::string query_latency_buckets;  ///< "le:count,..." from to_buckets()
 };
+
+/// Compact "le:count,le:count,..." encoding of the recorded distribution —
+/// the same buckets the Prometheus exporter emits, so offline analysis of a
+/// bench capture can recompute any quantile instead of trusting p50/p99.
+std::string bucket_string(const service::LatencyHistogram& h) {
+  std::string out;
+  for (const service::HistogramBucket& b : h.to_buckets()) {
+    if (!out.empty()) out += ",";
+    out += b.le_micros == UINT64_MAX ? "inf" : std::to_string(b.le_micros);
+    out += ":" + std::to_string(b.count);
+  }
+  return out;
+}
 
 ConfigResult run_config(std::size_t shards, std::size_t tenants,
                         std::uint64_t total_ops_budget,
@@ -166,8 +180,9 @@ ConfigResult run_config(std::size_t shards, std::size_t tenants,
   for (const auto& tr : results) r.queries += tr.queries;
   const service::ServiceStats stats = vm.stats();
   r.maintenance_runs = stats.total.maintenance_runs;
-  r.p99_query_micros = stats.total.query_micros.quantile_micros(0.99);
-  r.p50_query_micros = stats.total.query_micros.quantile_micros(0.50);
+  r.p99_query_micros = stats.total.query_micros.p99();
+  r.p50_query_micros = stats.total.query_micros.p50();
+  r.query_latency_buckets = bucket_string(stats.total.query_micros);
   return r;
 }
 
@@ -195,6 +210,7 @@ void report(const ConfigResult& r) {
       .num("churn_period_ms", r.churn_period_ms)
       .num("hardware_concurrency", std::thread::hardware_concurrency())
       .num("pinned", r.pinned ? 1 : 0)
+      .str("query_latency_buckets", r.query_latency_buckets)
       .print();
 }
 
@@ -254,9 +270,8 @@ void run_noisy_neighbor(std::uint64_t budget, bool qos_on) {
   for (const auto& [name, ts] : stats.tenants) {
     if (name != hog) victim_q.merge(ts.queue_wait_micros);
   }
-  const std::uint64_t victim_p99 = victim_q.quantile_micros(0.99);
-  const std::uint64_t hog_p99 =
-      stats.tenants.at(hog).queue_wait_micros.quantile_micros(0.99);
+  const std::uint64_t victim_p99 = victim_q.p99();
+  const std::uint64_t hog_p99 = stats.tenants.at(hog).queue_wait_micros.p99();
   std::printf("  qos=%d  ops/s %9.0f  victim p99 wait %6llu us  hog p99 wait "
               "%6llu us  throttled %llu\n",
               qos_on ? 1 : 0, wall > 0 ? total_ops / wall : 0,
@@ -318,7 +333,7 @@ void run_balancer_ab(std::uint64_t budget, bool balancer_on) {
   std::uint64_t total_ops = 0;
   for (const auto& r : results) total_ops += r.ops;
   const service::ServiceStats stats = vm.stats();
-  const std::uint64_t p99 = stats.total.query_micros.quantile_micros(0.99);
+  const std::uint64_t p99 = stats.total.query_micros.p99();
   std::printf("  balancer=%d  ops/s %9.0f  p99 %6llu us  moves %llu"
               "  imbalance %.3f\n",
               balancer_on ? 1 : 0, wall > 0 ? total_ops / wall : 0,

@@ -24,7 +24,16 @@ double imbalance_of(const std::vector<double>& loads) {
 }  // namespace
 
 Balancer::Balancer(VolumeManager& vm, BalancerPolicy policy)
-    : vm_(vm), policy_(policy) {}
+    : vm_(vm),
+      policy_(policy),
+      metric_slot_(vm.metrics().slots() - 1),
+      m_cycles_(&vm.metrics().counter("backlog_balancer_cycles_total",
+                                      "Rebalancing cycles run")),
+      m_moves_(&vm.metrics().counter("backlog_balancer_moves_total",
+                                     "Volumes live-migrated by the balancer")),
+      g_imbalance_(&vm.metrics().gauge(
+          "backlog_balancer_imbalance",
+          "Shard load imbalance (max-min)/total of the last cycle, 0..1")) {}
 
 Balancer::~Balancer() { stop(); }
 
@@ -70,6 +79,7 @@ std::vector<BalancerMove> Balancer::run_once(std::uint64_t now_micros) {
   const std::size_t shards = shard_loads.size();
   if (shards < 2) {
     cycles_.fetch_add(1, std::memory_order_relaxed);
+    m_cycles_->add(metric_slot_);
     return made;
   }
 
@@ -116,7 +126,9 @@ std::vector<BalancerMove> Balancer::run_once(std::uint64_t now_micros) {
   }
 
   last_imbalance_.store(imbalance_of(load), std::memory_order_relaxed);
+  g_imbalance_->set(imbalance_of(load));
   cycles_.fetch_add(1, std::memory_order_relaxed);
+  m_cycles_->add(metric_slot_);
   if (total < policy_.min_load_to_act) return made;
 
   // --- 3. move volumes until the band is met or the budget is spent ---------
@@ -170,7 +182,9 @@ std::vector<BalancerMove> Balancer::run_once(std::uint64_t now_micros) {
     made.push_back(
         {best->tenant, hot, cool, before, after, now_micros});
     moves_.fetch_add(1, std::memory_order_relaxed);
+    m_moves_->add(metric_slot_);
     last_imbalance_.store(after, std::memory_order_relaxed);
+    g_imbalance_->set(after);
   }
 
   history_.insert(history_.end(), made.begin(), made.end());

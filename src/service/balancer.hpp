@@ -127,6 +127,14 @@ class Balancer {
   std::atomic<std::uint64_t> cycles_{0};
   std::atomic<std::uint64_t> moves_{0};
 
+  // Registry mirrors of the accessors above, written from the balancer's
+  // control slot (the single-writer API slot is fine: only this object's
+  // serialized cycles touch these counters).
+  std::size_t metric_slot_;
+  MetricsRegistry::Counter* m_cycles_;
+  MetricsRegistry::Counter* m_moves_;
+  MetricsRegistry::Gauge* g_imbalance_;
+
   std::mutex thread_mu_;
   std::condition_variable cv_;
   bool stop_ = false;

@@ -4,7 +4,15 @@ namespace backlog::service {
 
 MaintenanceScheduler::MaintenanceScheduler(VolumeManager& vm,
                                            MaintenancePolicy policy)
-    : vm_(vm), policy_(policy), thread_([this] { loop(); }) {}
+    : vm_(vm),
+      policy_(policy),
+      metric_slot_(vm.metrics().slots() - 1),
+      m_sweeps_(&vm.metrics().counter("backlog_maintenance_sweeps_total",
+                                      "Scheduler sweeps over the tenant list")),
+      m_probes_(&vm.metrics().counter(
+          "backlog_maintenance_probes_total",
+          "Background maintenance probes handed to shards")),
+      thread_([this] { loop(); }) {}
 
 MaintenanceScheduler::~MaintenanceScheduler() {
   stop();
@@ -36,6 +44,7 @@ void MaintenanceScheduler::loop() {
         if (vm_.schedule_maintenance(tenants[idx], policy_)) {
           ++handed_out;
           scheduled_.fetch_add(1, std::memory_order_relaxed);
+          m_probes_->add(metric_slot_);
           // Next sweep resumes after the tenant just served.
           cursor_ = idx + 1;
         }
@@ -43,6 +52,7 @@ void MaintenanceScheduler::loop() {
       if (handed_out == 0) cursor_ = start + 1;
     }
     sweeps_.fetch_add(1, std::memory_order_relaxed);
+    m_sweeps_->add(metric_slot_);
 
     lock.lock();
   }

@@ -57,6 +57,11 @@ class MaintenanceScheduler {
   std::size_t cursor_ = 0;  // round-robin start index into the tenant list
   std::atomic<std::uint64_t> sweeps_{0};
   std::atomic<std::uint64_t> scheduled_{0};
+  // Registry mirrors, bumped only from the (single) sweep thread via the
+  // control slot.
+  std::size_t metric_slot_;
+  MetricsRegistry::Counter* m_sweeps_;
+  MetricsRegistry::Counter* m_probes_;
   std::thread thread_;  // declared last: starts after all state is ready
 };
 

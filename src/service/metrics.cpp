@@ -1,0 +1,330 @@
+#include "service/metrics.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+#include <utility>
+
+#include "service/volume_manager.hpp"
+#include "util/clock.hpp"
+
+namespace backlog::service {
+
+namespace {
+
+/// Minimal JSON string escaping: the registry's metric names and label
+/// strings are programmer-chosen identifiers, so quotes/backslashes only
+/// appear inside label *values* ("shard=\"3\"") and control characters never
+/// do.
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+void append_u64(std::string& out, std::uint64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%" PRIu64, v);
+  out += buf;
+}
+
+void append_double(std::string& out, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  out += buf;
+}
+
+}  // namespace
+
+MetricsRegistry::MetricsRegistry(std::size_t slots)
+    : slots_(slots == 0 ? 1 : slots) {}
+
+MetricsRegistry::Counter& MetricsRegistry::counter(const std::string& name,
+                                                   const std::string& help) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>(name, help, slots_);
+  return *slot;
+}
+
+MetricsRegistry::Gauge& MetricsRegistry::gauge(const std::string& name,
+                                               const std::string& help,
+                                               const std::string& labels) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name + "\x1f" + labels];
+  if (slot == nullptr) slot = std::make_unique<Gauge>(name, help, labels);
+  return *slot;
+}
+
+MetricsRegistry::Histogram& MetricsRegistry::histogram(
+    const std::string& name, const std::string& help) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (slot == nullptr) slot = std::make_unique<Histogram>(name, help, slots_);
+  return *slot;
+}
+
+LatencyHistogram MetricsRegistry::Histogram::merged() const {
+  LatencyHistogram out;
+  for (const Slot& s : slots_) {
+    for (std::size_t i = 0; i < LatencyHistogram::kBuckets; ++i) {
+      const std::uint64_t n = s.buckets[i].load(std::memory_order_relaxed);
+      if (n != 0) out.ingest_bucket(i, n);
+    }
+    out.ingest_sum_max(s.sum.load(std::memory_order_relaxed),
+                       s.max.load(std::memory_order_relaxed));
+  }
+  return out;
+}
+
+std::string MetricsRegistry::to_prometheus() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  out.reserve(4096);
+
+  for (const auto& [name, c] : counters_) {
+    out += "# HELP " + name + " " + c->help() + "\n";
+    out += "# TYPE " + name + " counter\n";
+    out += name + " ";
+    append_u64(out, c->total());
+    out += "\n";
+  }
+
+  // Gauges are keyed name+labels; emit one HELP/TYPE per family, then every
+  // labeled series of that family (map order keeps a family contiguous).
+  std::string prev_family;
+  for (const auto& [key, g] : gauges_) {
+    (void)key;
+    if (g->name() != prev_family) {
+      out += "# HELP " + g->name() + " " + g->help() + "\n";
+      out += "# TYPE " + g->name() + " gauge\n";
+      prev_family = g->name();
+    }
+    out += g->name();
+    if (!g->labels().empty()) out += "{" + g->labels() + "}";
+    out += " ";
+    append_double(out, g->value());
+    out += "\n";
+  }
+
+  for (const auto& [name, h] : histograms_) {
+    const LatencyHistogram merged = h->merged();
+    out += "# HELP " + name + " " + h->help() + "\n";
+    out += "# TYPE " + name + " histogram\n";
+    std::uint64_t cum = 0;
+    for (const HistogramBucket& b : merged.to_buckets()) {
+      cum += b.count;
+      // The top log2 bucket's bound is UINT64_MAX — fold it into +Inf
+      // instead of emitting an unreadable 20-digit `le`.
+      if (b.le_micros == UINT64_MAX) continue;
+      out += name + "_bucket{le=\"";
+      append_u64(out, b.le_micros);
+      out += "\"} ";
+      append_u64(out, cum);
+      out += "\n";
+    }
+    out += name + "_bucket{le=\"+Inf\"} ";
+    append_u64(out, merged.count());
+    out += "\n";
+    out += name + "_sum ";
+    append_u64(out, merged.sum_micros());
+    out += "\n";
+    out += name + "_count ";
+    append_u64(out, merged.count());
+    out += "\n";
+  }
+  return out;
+}
+
+std::string MetricsRegistry::to_json() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::string out = "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, c] : counters_) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"" + json_escape(name) + "\":";
+    append_u64(out, c->total());
+  }
+  out += "},\"gauges\":[";
+  first = true;
+  for (const auto& [key, g] : gauges_) {
+    (void)key;
+    if (!first) out += ",";
+    first = false;
+    out += "{\"name\":\"" + json_escape(g->name()) + "\",\"labels\":\"" +
+           json_escape(g->labels()) + "\",\"value\":";
+    append_double(out, g->value());
+    out += "}";
+  }
+  out += "],\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    if (!first) out += ",";
+    first = false;
+    const LatencyHistogram m = h->merged();
+    out += "\"" + json_escape(name) + "\":{\"count\":";
+    append_u64(out, m.count());
+    out += ",\"sum_micros\":";
+    append_u64(out, m.sum_micros());
+    out += ",\"max_micros\":";
+    append_u64(out, m.max_micros());
+    out += ",\"p50\":";
+    append_u64(out, m.p50());
+    out += ",\"p95\":";
+    append_u64(out, m.p95());
+    out += ",\"p99\":";
+    append_u64(out, m.p99());
+    out += ",\"buckets\":[";
+    bool bfirst = true;
+    for (const HistogramBucket& b : m.to_buckets()) {
+      if (!bfirst) out += ",";
+      bfirst = false;
+      out += "{\"le_micros\":";
+      append_u64(out, b.le_micros);
+      out += ",\"count\":";
+      append_u64(out, b.count);
+      out += "}";
+    }
+    out += "]}";
+  }
+  out += "}}";
+  return out;
+}
+
+MetricsPoller::MetricsPoller(VolumeManager& vm,
+                             std::chrono::milliseconds interval)
+    : vm_(vm), interval_(interval) {
+  MetricsRegistry& reg = vm.metrics();
+  g_updates_ = &reg.gauge("backlog_update_ops_per_sec",
+                          "Update ops applied per second (last window)");
+  g_queries_ = &reg.gauge("backlog_queries_per_sec",
+                          "Queries served per second (last window)");
+  g_throttles_ =
+      &reg.gauge("backlog_throttles_per_sec",
+                 "QoS throttle decisions (queued + rejected) per second");
+  g_read_bytes_ =
+      &reg.gauge("backlog_io_read_bytes_per_sec",
+                 "Cache-miss bytes read from storage per second");
+  g_write_bytes_ = &reg.gauge("backlog_io_write_bytes_per_sec",
+                              "Bytes written to storage per second");
+  // slots() counts one per shard plus the API slot.
+  const std::size_t shards = reg.slots() - 1;
+  g_busy_.reserve(shards);
+  for (std::size_t i = 0; i < shards; ++i) {
+    g_busy_.push_back(&reg.gauge(
+        "backlog_shard_busy_fraction",
+        "Fraction of wall time the shard thread spent executing tasks",
+        "shard=\"" + std::to_string(i) + "\""));
+  }
+}
+
+MetricsPoller::~MetricsPoller() { stop(); }
+
+void MetricsPoller::start() {
+  {
+    const std::lock_guard<std::mutex> lock(stop_mu_);
+    if (thread_.joinable()) return;
+    stopping_ = false;
+  }
+  thread_ = std::thread([this] { loop(); });
+}
+
+void MetricsPoller::stop() {
+  {
+    const std::lock_guard<std::mutex> lock(stop_mu_);
+    stopping_ = true;
+  }
+  stop_cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+}
+
+void MetricsPoller::loop() {
+  std::unique_lock<std::mutex> lock(stop_mu_);
+  while (!stopping_) {
+    if (stop_cv_.wait_for(lock, interval_, [this] { return stopping_; })) {
+      return;
+    }
+    lock.unlock();
+    poll_once();
+    lock.lock();
+  }
+}
+
+RateSample MetricsPoller::poll_once() { return poll_once(util::now_micros()); }
+
+RateSample MetricsPoller::poll_once(std::uint64_t now_micros) {
+  // Scrape outside mu_ — stats() runs tasks on every shard.
+  const ServiceStats stats = vm_.stats();
+  const auto loads = vm_.shard_loads();
+
+  const std::uint64_t updates = stats.total.updates;
+  const std::uint64_t queries = stats.total.queries;
+  const std::uint64_t throttles =
+      stats.total.throttle_queued + stats.total.throttle_rejected;
+  const std::uint64_t read_bytes = stats.total.io.bytes_read;
+  const std::uint64_t write_bytes = stats.total.io.bytes_written;
+
+  const std::lock_guard<std::mutex> lock(mu_);
+  RateSample s;
+  s.at_micros = now_micros;
+  s.shard_busy_fraction.assign(loads.size(), 0.0);
+
+  if (primed_ && now_micros > prev_at_) {
+    const double dt =
+        static_cast<double>(now_micros - prev_at_) / 1'000'000.0;
+    s.window_seconds = dt;
+    s.update_ops_per_sec = static_cast<double>(updates - prev_updates_) / dt;
+    s.queries_per_sec = static_cast<double>(queries - prev_queries_) / dt;
+    s.throttles_per_sec =
+        static_cast<double>(throttles - prev_throttles_) / dt;
+    s.io_read_bytes_per_sec =
+        static_cast<double>(read_bytes - prev_read_bytes_) / dt;
+    s.io_write_bytes_per_sec =
+        static_cast<double>(write_bytes - prev_write_bytes_) / dt;
+    for (std::size_t i = 0; i < loads.size(); ++i) {
+      const std::uint64_t prev =
+          i < prev_busy_.size() ? prev_busy_[i] : 0;
+      const double busy =
+          static_cast<double>(loads[i].busy_micros - prev) /
+          static_cast<double>(now_micros - prev_at_);
+      s.shard_busy_fraction[i] = busy < 0.0 ? 0.0 : (busy > 1.0 ? 1.0 : busy);
+    }
+  }
+
+  primed_ = true;
+  prev_at_ = now_micros;
+  prev_updates_ = updates;
+  prev_queries_ = queries;
+  prev_throttles_ = throttles;
+  prev_read_bytes_ = read_bytes;
+  prev_write_bytes_ = write_bytes;
+  prev_busy_.resize(loads.size());
+  for (std::size_t i = 0; i < loads.size(); ++i) {
+    prev_busy_[i] = loads[i].busy_micros;
+  }
+
+  g_updates_->set(s.update_ops_per_sec);
+  g_queries_->set(s.queries_per_sec);
+  g_throttles_->set(s.throttles_per_sec);
+  g_read_bytes_->set(s.io_read_bytes_per_sec);
+  g_write_bytes_->set(s.io_write_bytes_per_sec);
+  for (std::size_t i = 0; i < g_busy_.size(); ++i) {
+    g_busy_[i]->set(i < s.shard_busy_fraction.size()
+                        ? s.shard_busy_fraction[i]
+                        : 0.0);
+  }
+
+  last_ = s;
+  return s;
+}
+
+RateSample MetricsPoller::last() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return last_;
+}
+
+}  // namespace backlog::service

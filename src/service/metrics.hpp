@@ -1,0 +1,242 @@
+// MetricsRegistry: named counters / gauges / histograms with per-shard
+// single-writer slots, merged only at scrape time.
+//
+// The write side is built for the shard-per-thread service: every metric
+// family owns one cache-line-aligned slot per shard plus one extra slot
+// shared by API/control threads. A shard thread bumps its own slot with a
+// relaxed load+store (no RMW, no contention, no allocation); a scrape sums
+// the slots with relaxed loads. Totals are therefore eventually consistent
+// across slots — exactly the semantics a Prometheus scrape needs — while the
+// hot path pays a single uncontended store.
+//
+// Export formats:
+//   to_prometheus()  text exposition (counters `_total`, histograms with
+//                    cumulative `_bucket{le=...}` / `_sum` / `_count`)
+//   to_json()        one JSON object mirroring the same data, used by
+//                    `backlogctl metrics --json` and bench tooling
+//
+// MetricsPoller turns the cumulative counters (ServiceStats + the WorkerPool
+// busy clock) into windowed rates: ops/s, queries/s, throttles/s, cache-free
+// IO bytes/s (the Env only charges cache-miss reads, so read rates are
+// cache-free by construction) and per-shard busy fraction. poll_once() takes
+// an explicit timestamp so tests get deterministic windows.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <new>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "service/service_stats.hpp"
+
+namespace backlog::service {
+
+class VolumeManager;
+
+/// Destructive-interference alignment for per-shard metric slots. A fixed 64
+/// (every mainstream target's cache line) rather than std::hardware_
+/// destructive_interference_size, whose value shifts with -mtune and makes
+/// GCC warn on any header use.
+inline constexpr std::size_t kMetricSlotAlign = 64;
+
+class MetricsRegistry {
+ public:
+  /// `slots` = writer count: one per shard plus one for API/control threads
+  /// (VolumeManager passes shards + 1).
+  explicit MetricsRegistry(std::size_t slots);
+
+  /// Monotonic counter. add() is single-writer per slot: a relaxed
+  /// load+store pair, not an RMW — two threads must never share a slot.
+  class Counter {
+   public:
+    Counter(std::string name, std::string help, std::size_t slots)
+        : name_(std::move(name)), help_(std::move(help)), slots_(slots) {}
+
+    void add(std::size_t slot, std::uint64_t n = 1) noexcept {
+      auto& cell = slots_[slot].value;
+      cell.store(cell.load(std::memory_order_relaxed) + n,
+                 std::memory_order_relaxed);
+    }
+
+    [[nodiscard]] std::uint64_t total() const noexcept {
+      std::uint64_t sum = 0;
+      for (const auto& s : slots_) sum += s.value.load(std::memory_order_relaxed);
+      return sum;
+    }
+
+    [[nodiscard]] const std::string& name() const noexcept { return name_; }
+    [[nodiscard]] const std::string& help() const noexcept { return help_; }
+
+   private:
+    struct alignas(kMetricSlotAlign) Slot {
+      std::atomic<std::uint64_t> value{0};
+    };
+    std::string name_;
+    std::string help_;
+    std::vector<Slot> slots_;
+  };
+
+  /// Point-in-time value, any thread may set it (last writer wins). An
+  /// optional fixed label set ("shard=\"3\"") distinguishes series within
+  /// one family.
+  class Gauge {
+   public:
+    Gauge(std::string name, std::string help, std::string labels)
+        : name_(std::move(name)), help_(std::move(help)),
+          labels_(std::move(labels)) {}
+
+    void set(double v) noexcept { value_.store(v, std::memory_order_relaxed); }
+    [[nodiscard]] double value() const noexcept {
+      return value_.load(std::memory_order_relaxed);
+    }
+
+    [[nodiscard]] const std::string& name() const noexcept { return name_; }
+    [[nodiscard]] const std::string& help() const noexcept { return help_; }
+    [[nodiscard]] const std::string& labels() const noexcept { return labels_; }
+
+   private:
+    std::string name_;
+    std::string help_;
+    std::string labels_;
+    std::atomic<double> value_{0.0};
+  };
+
+  /// Log2-bucketed latency histogram with per-slot single-writer storage;
+  /// merged() folds the slots into a LatencyHistogram at scrape time.
+  class Histogram {
+   public:
+    Histogram(std::string name, std::string help, std::size_t slots)
+        : name_(std::move(name)), help_(std::move(help)), slots_(slots) {}
+
+    void record(std::size_t slot, std::uint64_t micros) noexcept {
+      Slot& s = slots_[slot];
+      bump(s.buckets[LatencyHistogram::bucket_of(micros)]);
+      bump(s.count);
+      bump(s.sum, micros);
+      if (micros > s.max.load(std::memory_order_relaxed)) {
+        s.max.store(micros, std::memory_order_relaxed);
+      }
+    }
+
+    [[nodiscard]] LatencyHistogram merged() const;
+
+    [[nodiscard]] const std::string& name() const noexcept { return name_; }
+    [[nodiscard]] const std::string& help() const noexcept { return help_; }
+
+   private:
+    static void bump(std::atomic<std::uint64_t>& cell,
+                     std::uint64_t n = 1) noexcept {
+      cell.store(cell.load(std::memory_order_relaxed) + n,
+                 std::memory_order_relaxed);
+    }
+    struct alignas(kMetricSlotAlign) Slot {
+      std::atomic<std::uint64_t> buckets[LatencyHistogram::kBuckets]{};
+      std::atomic<std::uint64_t> count{0};
+      std::atomic<std::uint64_t> sum{0};
+      std::atomic<std::uint64_t> max{0};
+    };
+    std::string name_;
+    std::string help_;
+    std::vector<Slot> slots_;
+  };
+
+  /// Registration is idempotent (same name -> same object) and returns a
+  /// handle that stays valid for the registry's lifetime, so components
+  /// constructed repeatedly (Balancer, MaintenanceScheduler) can re-register
+  /// freely and cache the pointer.
+  Counter& counter(const std::string& name, const std::string& help);
+  Gauge& gauge(const std::string& name, const std::string& help,
+               const std::string& labels = "");
+  Histogram& histogram(const std::string& name, const std::string& help);
+
+  [[nodiscard]] std::size_t slots() const noexcept { return slots_; }
+
+  [[nodiscard]] std::string to_prometheus() const;
+  [[nodiscard]] std::string to_json() const;
+
+ private:
+  std::size_t slots_;
+  mutable std::mutex mu_;  ///< guards the maps, not the metric slots
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  // Gauges keyed by name + labels: one family (shared HELP/TYPE) may hold
+  // several labeled series, e.g. backlog_shard_busy_fraction{shard="k"}.
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+/// One windowed-rate sample from MetricsPoller.
+struct RateSample {
+  std::uint64_t at_micros = 0;       ///< steady-clock stamp of this sample
+  double window_seconds = 0;         ///< width of the window it covers
+  double update_ops_per_sec = 0;     ///< add/remove ops applied
+  double queries_per_sec = 0;
+  double throttles_per_sec = 0;      ///< QoS queued + rejected
+  double io_read_bytes_per_sec = 0;  ///< cache-miss reads only
+  double io_write_bytes_per_sec = 0;
+  std::vector<double> shard_busy_fraction;  ///< per shard, 0..1
+};
+
+/// Periodically (or on demand) diffs cumulative ServiceStats + WorkerPool
+/// busy clocks into rates and mirrors them into registry gauges
+/// (backlog_update_ops_per_sec, backlog_shard_busy_fraction{shard="k"}, ...).
+/// The first poll primes the window and reports zero rates.
+class MetricsPoller {
+ public:
+  /// Registers its gauges in vm.metrics(). Does not start a thread; call
+  /// start() for background polling or poll_once() to drive it manually.
+  MetricsPoller(VolumeManager& vm, std::chrono::milliseconds interval);
+  ~MetricsPoller();
+
+  MetricsPoller(const MetricsPoller&) = delete;
+  MetricsPoller& operator=(const MetricsPoller&) = delete;
+
+  void start();
+  void stop();
+
+  /// One deterministic sample: scrape cumulative stats, diff against the
+  /// previous sample over (`now_micros` - prev stamp). Thread-safe.
+  RateSample poll_once(std::uint64_t now_micros);
+  /// Convenience wall-clock overload.
+  RateSample poll_once();
+
+  /// Most recent sample (zero-initialized before the second poll).
+  [[nodiscard]] RateSample last() const;
+
+ private:
+  void loop();
+
+  VolumeManager& vm_;
+  std::chrono::milliseconds interval_;
+
+  mutable std::mutex mu_;
+  bool primed_ = false;
+  std::uint64_t prev_at_ = 0;
+  std::uint64_t prev_updates_ = 0;
+  std::uint64_t prev_queries_ = 0;
+  std::uint64_t prev_throttles_ = 0;
+  std::uint64_t prev_read_bytes_ = 0;
+  std::uint64_t prev_write_bytes_ = 0;
+  std::vector<std::uint64_t> prev_busy_;
+  RateSample last_{};
+
+  MetricsRegistry::Gauge* g_updates_;
+  MetricsRegistry::Gauge* g_queries_;
+  MetricsRegistry::Gauge* g_throttles_;
+  MetricsRegistry::Gauge* g_read_bytes_;
+  MetricsRegistry::Gauge* g_write_bytes_;
+  std::vector<MetricsRegistry::Gauge*> g_busy_;
+
+  std::mutex stop_mu_;
+  std::condition_variable stop_cv_;
+  bool stopping_ = false;
+  std::thread thread_;
+};
+
+}  // namespace backlog::service

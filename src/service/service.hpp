@@ -5,14 +5,18 @@
 //   Balancer              — autonomous load-balancing placement
 //   TenantQos / QosGate   — per-tenant admission control + fair scheduling
 //   ServiceStats          — per-tenant latency histograms + I/O accounting
+//   MetricsRegistry       — named counters/gauges/histograms + rate poller
+//   TraceRing / TraceSpan — sampled per-op tracing and slow-op forensics
 //
 // See volume_manager.hpp for the threading model.
 #pragma once
 
 #include "service/balancer.hpp"
 #include "service/maintenance_scheduler.hpp"
+#include "service/metrics.hpp"
 #include "service/qos.hpp"
 #include "service/service_stats.hpp"
 #include "service/shard_queue.hpp"
+#include "service/trace.hpp"
 #include "service/volume_manager.hpp"
 #include "service/worker_pool.hpp"

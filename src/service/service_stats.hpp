@@ -14,16 +14,26 @@
 #include <cstdint>
 #include <map>
 #include <string>
+#include <vector>
 
 #include "storage/env.hpp"
 
 namespace backlog::service {
+
+/// One exported histogram bucket: `count` observations at most `le_micros`
+/// long (non-cumulative; the Prometheus encoder accumulates).
+struct HistogramBucket {
+  std::uint64_t le_micros = 0;
+  std::uint64_t count = 0;
+};
 
 /// Log2-bucketed latency histogram (microseconds). record() is O(1); the
 /// quantile is the upper bound of the bucket containing it, so reported
 /// percentiles are conservative (never under-estimated) within a factor of 2.
 class LatencyHistogram {
  public:
+  static constexpr std::size_t kBuckets = 64;
+
   void record(std::uint64_t micros) noexcept {
     ++count_;
     sum_micros_ += micros;
@@ -55,6 +65,13 @@ class LatencyHistogram {
     return max_micros_;
   }
 
+  /// Convenience percentile accessors (same conservative semantics as
+  /// quantile_micros) — the canonical spellings for bench rows, CLI tables
+  /// and the metrics JSON export.
+  [[nodiscard]] std::uint64_t p50() const noexcept { return quantile_micros(0.50); }
+  [[nodiscard]] std::uint64_t p95() const noexcept { return quantile_micros(0.95); }
+  [[nodiscard]] std::uint64_t p99() const noexcept { return quantile_micros(0.99); }
+
   void merge(const LatencyHistogram& o) noexcept {
     count_ += o.count_;
     sum_micros_ += o.sum_micros_;
@@ -62,13 +79,43 @@ class LatencyHistogram {
     for (std::size_t i = 0; i < buckets_.size(); ++i) buckets_[i] += o.buckets_[i];
   }
 
- private:
+  /// Non-empty buckets as (upper bound, count) pairs, ascending. Shared by
+  /// the Prometheus histogram encoder and the bench JSONROW rows so both
+  /// export the exact recorded distribution instead of recomputed quantiles.
+  [[nodiscard]] std::vector<HistogramBucket> to_buckets() const {
+    std::vector<HistogramBucket> out;
+    for (std::size_t i = 0; i < buckets_.size(); ++i) {
+      if (buckets_[i] != 0) out.push_back({bucket_upper_micros(i), buckets_[i]});
+    }
+    return out;
+  }
+
+  /// Scrape-side ingestion for MetricsRegistry: fold a raw per-bucket count
+  /// (indexes match bucket_of) and a slot's sum/max into this histogram.
+  void ingest_bucket(std::size_t bucket, std::uint64_t n) noexcept {
+    buckets_[std::min(bucket, buckets_.size() - 1)] += n;
+    count_ += n;
+  }
+  void ingest_sum_max(std::uint64_t sum_micros, std::uint64_t max_micros) noexcept {
+    sum_micros_ += sum_micros;
+    max_micros_ = std::max(max_micros_, max_micros);
+  }
+
+  /// Index of the bucket an observation lands in (public: MetricsRegistry's
+  /// per-slot histograms bucket with the same function so scrape-side
+  /// ingest_bucket round-trips exactly).
   static std::size_t bucket_of(std::uint64_t micros) noexcept {
     if (micros <= 1) return 0;
     return std::min<std::size_t>(
         63, static_cast<std::size_t>(64 - std::countl_zero(micros - 1)));
   }
 
+  /// Inclusive upper bound of bucket `i` in microseconds (bucket 0: 1 µs).
+  static std::uint64_t bucket_upper_micros(std::size_t i) noexcept {
+    return i >= 63 ? UINT64_MAX : (1ull << i);
+  }
+
+ private:
   std::array<std::uint64_t, 64> buckets_{};
   std::uint64_t count_ = 0;
   std::uint64_t sum_micros_ = 0;
@@ -108,6 +155,11 @@ struct TenantStats {
   /// execution only, so this is where a noisy neighbour (or a throttle)
   /// becomes visible to monitoring.
   LatencyHistogram queue_wait_micros;
+  /// QoS-gate wait alone (pacer hold time of throttle-queued ops). Only
+  /// populated while tracing is enabled — the span machinery stamps the
+  /// admit time; with tracing off the gate wait stays folded into
+  /// queue_wait_micros.
+  LatencyHistogram gate_wait_micros;
   storage::IoStats io;                   ///< volume Env counters at snapshot
 
   void merge(const TenantStats& o) noexcept {
@@ -131,12 +183,8 @@ struct TenantStats {
     query_micros.merge(o.query_micros);
     maintenance_micros.merge(o.maintenance_micros);
     queue_wait_micros.merge(o.queue_wait_micros);
-    io.page_reads += o.io.page_reads;
-    io.page_writes += o.io.page_writes;
-    io.bytes_read += o.io.bytes_read;
-    io.bytes_written += o.io.bytes_written;
-    io.files_created += o.io.files_created;
-    io.files_deleted += o.io.files_deleted;
+    gate_wait_micros.merge(o.gate_wait_micros);
+    io += o.io;
   }
 };
 

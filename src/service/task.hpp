@@ -32,10 +32,11 @@ namespace backlog::service {
 class InlineTask {
  public:
   /// Sized for the dispatch wrapper of the widest common verb body (an
-  /// apply_batch body: vector + promise + timestamps, wrapped with the
-  /// volume handle); measured ~96 bytes, kept with headroom so small verb
-  /// additions don't silently fall off the fast path.
-  static constexpr std::size_t kInlineBytes = 128;
+  /// apply_batch body: vector + promise + trace context + service pointer,
+  /// wrapped with the volume handle); measured ~128 bytes since the trace
+  /// ctx rides in the body, kept with headroom so small verb additions
+  /// don't silently fall off the fast path.
+  static constexpr std::size_t kInlineBytes = 192;
 
   InlineTask() noexcept = default;
 

@@ -1,5 +1,6 @@
 #include "service/volume_manager.hpp"
 
+#include <algorithm>
 #include <filesystem>
 #include <random>
 #include <stdexcept>
@@ -94,16 +95,144 @@ bool VolumeManager::flush_buffered_cp(Volume& v) {
   const std::uint64_t t0 = now_micros();
   v.db->consistency_point();
   ++v.stats.cps;
-  v.stats.cp_micros.record(now_micros() - t0);
+  const std::uint64_t d = now_micros() - t0;
+  v.stats.cp_micros.record(d);
+  hot_.cps->add(metric_slot());
+  hot_.cp_micros->record(metric_slot(), d);
   return true;
 }
 
 VolumeManager::VolumeManager(ServiceOptions options)
     : options_(validated(std::move(options))),
       shared_files_(options_.root),
+      metrics_(options_.shards + 1),  // one slot per shard + the API slot
       pool_(options_.shards, options_.bg_starvation_limit,
             options_.dequeue_chunk, options_.pin_shards) {
+  trace_.sample_every.store(options_.trace_sample_every,
+                            std::memory_order_relaxed);
+  trace_.slow_op_micros.store(options_.slow_op_micros,
+                              std::memory_order_relaxed);
+  telemetry_.reserve(options_.shards);
+  for (std::size_t i = 0; i < options_.shards; ++i) {
+    telemetry_.push_back(std::make_unique<ShardTelemetry>(
+        options_.trace_ring_size, options_.slow_op_ring_size));
+  }
+  // The hot-path counter handles (see README "Observability" for the
+  // catalog). Registered once here; the verbs bump them with one relaxed
+  // store per op.
+  hot_.updates = &metrics_.counter("backlog_updates_total",
+                                   "Add/remove ops applied");
+  hot_.batches = &metrics_.counter("backlog_update_batches_total",
+                                   "Update batches executed");
+  hot_.queries = &metrics_.counter("backlog_queries_total",
+                                   "Owner queries served");
+  hot_.cps = &metrics_.counter("backlog_cps_total",
+                               "Consistency points committed");
+  hot_.snapshots = &metrics_.counter("backlog_snapshots_total",
+                                     "Snapshots taken");
+  hot_.migrations = &metrics_.counter("backlog_migrations_total",
+                                      "Completed live shard handoffs");
+  hot_.maintenance_runs = &metrics_.counter(
+      "backlog_maintenance_runs_total", "Maintenance passes executed");
+  hot_.throttle_queued = &metrics_.counter(
+      "backlog_throttle_queued_total", "Ops held by a QoS gate for tokens");
+  hot_.throttle_rejected = &metrics_.counter(
+      "backlog_throttle_rejected_total",
+      "Ops refused with kThrottled (QoS wait queue full)");
+  hot_.trace_spans = &metrics_.counter("backlog_trace_spans_total",
+                                       "Sampled spans recorded");
+  hot_.trace_evictions = &metrics_.counter(
+      "backlog_trace_evictions_total",
+      "Unread spans overwritten in a full trace ring");
+  hot_.slow_ops = &metrics_.counter("backlog_slow_ops_total",
+                                    "Ops at or over slow_op_micros");
+  hot_.update_batch_micros = &metrics_.histogram(
+      "backlog_update_batch_micros", "On-shard update-batch execution time");
+  hot_.query_micros = &metrics_.histogram("backlog_query_micros",
+                                          "On-shard query execution time");
+  hot_.cp_micros = &metrics_.histogram("backlog_cp_micros",
+                                       "Consistency-point execution time");
+  hot_.queue_wait_micros = &metrics_.histogram(
+      "backlog_queue_wait_micros",
+      "Submit-to-execute delay (queue plus gate wait) of waiting ops");
+  hot_.gate_wait_micros = &metrics_.histogram(
+      "backlog_gate_wait_micros",
+      "QoS gate hold time of throttled ops (populated while tracing)");
   recover_clone_staging();
+}
+
+void VolumeManager::finish_trace(Volume& v, const TraceCtx& ctx,
+                                 std::uint64_t t_exec,
+                                 std::uint64_t io_before_micros) noexcept {
+  const std::uint64_t t_end = now_micros();
+  const std::size_t shard = WorkerPool::current_shard();
+  if (shard >= telemetry_.size()) return;  // defensive: not a pool thread
+  TraceSpan s;
+  s.id = ctx.id;
+  s.verb = ctx.verb;
+  s.ops = ctx.ops;
+  s.t_submit = ctx.t_submit;
+  s.submit_shard = ctx.submit_shard;
+  s.exec_shard = static_cast<std::uint16_t>(shard);
+  s.migrated = shard != ctx.submit_shard;
+  // Stage boundaries (clamped monotone so a racy stamp can't underflow):
+  // gate + queue + execute telescopes back to exactly t_end - t_submit.
+  const std::uint64_t admitted =
+      ctx.t_admit == 0 ? ctx.t_submit : std::max(ctx.t_admit, ctx.t_submit);
+  s.gate_wait_micros = admitted - ctx.t_submit;
+  s.queue_wait_micros = t_exec >= admitted ? t_exec - admitted : 0;
+  s.execute_micros = t_end >= t_exec ? t_end - t_exec : 0;
+  const std::uint64_t io_now = v.env ? v.env->stats().io_micros
+                                     : io_before_micros;
+  s.io_micros = std::min(io_now - io_before_micros, s.execute_micros);
+  s.set_tenant(v.tenant);
+  if (ctx.t_admit != 0) {
+    v.stats.gate_wait_micros.record(s.gate_wait_micros);
+    hot_.gate_wait_micros->record(shard, s.gate_wait_micros);
+  }
+  ShardTelemetry& tel = *telemetry_[shard];
+  if (ctx.sampled) {
+    hot_.trace_spans->add(shard);
+    if (tel.ring.push(s)) hot_.trace_evictions->add(shard);
+  }
+  const std::uint64_t slow =
+      trace_.slow_op_micros.load(std::memory_order_relaxed);
+  if (slow != 0 && s.end_to_end_micros() >= slow) {
+    s.slow = true;
+    hot_.slow_ops->add(shard);
+    if (tel.slow.push(s)) hot_.trace_evictions->add(shard);
+  }
+}
+
+std::vector<TraceSpan> VolumeManager::gather_spans(bool slow) {
+  std::vector<TraceSpan> all;
+  // Same sequential per-shard pattern as stats(): the snapshot task runs on
+  // the ring's owning thread, so the single-writer rings need no locks and
+  // the scrape can never block a shard behind another shard's scrape.
+  for (std::size_t shard = 0; shard < pool_.size(); ++shard) {
+    std::promise<std::vector<TraceSpan>> prom;
+    std::future<std::vector<TraceSpan>> fut = prom.get_future();
+    pool_.submit(shard, [this, shard, slow, &prom] {
+      const ShardTelemetry& tel = *telemetry_[shard];
+      prom.set_value(slow ? tel.slow.snapshot() : tel.ring.snapshot());
+    });
+    std::vector<TraceSpan> spans = fut.get();
+    all.insert(all.end(), spans.begin(), spans.end());
+  }
+  std::sort(all.begin(), all.end(),
+            [](const TraceSpan& a, const TraceSpan& b) {
+              return a.t_submit != b.t_submit ? a.t_submit < b.t_submit
+                                              : a.id < b.id;
+            });
+  return all;
+}
+
+std::vector<TraceSpan> VolumeManager::trace_spans() {
+  return gather_spans(/*slow=*/false);
+}
+
+std::vector<TraceSpan> VolumeManager::slow_ops() {
+  return gather_spans(/*slow=*/true);
 }
 
 void VolumeManager::recover_clone_staging() {
@@ -208,7 +337,8 @@ std::vector<VolumeManager::ShardLoad> VolumeManager::shard_loads() const {
   std::vector<ShardLoad> out;
   out.reserve(pool_.size());
   for (std::size_t i = 0; i < pool_.size(); ++i) {
-    out.push_back({i, pool_.queue_depth(i), pool_.latency_ewma_micros(i)});
+    out.push_back({i, pool_.queue_depth(i), pool_.latency_ewma_micros(i),
+                   pool_.busy_micros(i)});
   }
   return out;
 }
@@ -401,9 +531,10 @@ std::future<void> VolumeManager::apply(const std::string& tenant,
   // bucket.
   const double ops_cost = static_cast<double>(batch.size());
   const double bytes_cost = ops_cost * core::kFromRecordSize;
+  const auto op_count = static_cast<std::uint32_t>(batch.size());
   return run_on(
       find(tenant),
-      [batch = std::move(batch)](Volume& v) {
+      [this, batch = std::move(batch)](Volume& v) {
         const std::uint64_t t0 = now_micros();
         for (const UpdateOp& op : batch) {
           if (op.kind == UpdateOp::Kind::kAdd) {
@@ -414,9 +545,15 @@ std::future<void> VolumeManager::apply(const std::string& tenant,
         }
         v.stats.updates += batch.size();
         ++v.stats.batches;
-        v.stats.update_batch_micros.record(now_micros() - t0);
+        const std::uint64_t d = now_micros() - t0;
+        v.stats.update_batch_micros.record(d);
+        const std::size_t slot = metric_slot();
+        hot_.updates->add(slot, batch.size());
+        hot_.batches->add(slot);
+        hot_.update_batch_micros->record(slot, d);
       },
-      /*background=*/false, ops_cost, bytes_cost);
+      /*background=*/false, ops_cost, bytes_cost, /*bypass_gate=*/false,
+      TraceVerb::kApply, op_count);
 }
 
 std::future<void> VolumeManager::apply_batch(const std::string& tenant,
@@ -428,47 +565,66 @@ std::future<void> VolumeManager::apply_batch(const std::string& tenant,
   // allocation or virtual-dispatch overhead left — only write-store work.
   const double ops_cost = static_cast<double>(batch.size());
   const double bytes_cost = ops_cost * core::kFromRecordSize;
+  const auto op_count = static_cast<std::uint32_t>(batch.size());
   return run_on(
       find(tenant),
-      [batch = std::move(batch)](Volume& v) {
+      [this, batch = std::move(batch)](Volume& v) {
         const std::uint64_t t0 = now_micros();
         v.db->apply_many(batch);
         v.stats.updates += batch.size();
         ++v.stats.batches;
-        v.stats.update_batch_micros.record(now_micros() - t0);
+        const std::uint64_t d = now_micros() - t0;
+        v.stats.update_batch_micros.record(d);
+        const std::size_t slot = metric_slot();
+        hot_.updates->add(slot, batch.size());
+        hot_.batches->add(slot);
+        hot_.update_batch_micros->record(slot, d);
       },
-      /*background=*/false, ops_cost, bytes_cost);
+      /*background=*/false, ops_cost, bytes_cost, /*bypass_gate=*/false,
+      TraceVerb::kApplyBatch, op_count);
 }
 
 std::future<std::vector<std::vector<core::BackrefEntry>>>
 VolumeManager::query_batch(const std::string& tenant,
                            std::vector<QueryRange> ranges) {
   const double ops_cost = static_cast<double>(ranges.size());
+  const auto op_count = static_cast<std::uint32_t>(ranges.size());
   return run_on(
       find(tenant),
-      [ranges = std::move(ranges)](Volume& v) {
+      [this, ranges = std::move(ranges)](Volume& v) {
         std::vector<std::vector<core::BackrefEntry>> out;
         out.reserve(ranges.size());
+        const std::size_t slot = metric_slot();
         for (const QueryRange& r : ranges) {
           const std::uint64_t t0 = now_micros();
           out.push_back(v.db->query(r.first, r.count, r.opts));
           ++v.stats.queries;
-          v.stats.query_micros.record(now_micros() - t0);
+          const std::uint64_t d = now_micros() - t0;
+          v.stats.query_micros.record(d);
+          hot_.queries->add(slot);
+          hot_.query_micros->record(slot, d);
         }
         return out;
       },
-      /*background=*/false, ops_cost);
+      /*background=*/false, ops_cost, 0, /*bypass_gate=*/false,
+      TraceVerb::kQueryBatch, op_count);
 }
 
 std::future<core::CpFlushStats> VolumeManager::consistency_point(
     const std::string& tenant) {
-  return run_on(find(tenant), [](Volume& v) {
-    const std::uint64_t t0 = now_micros();
-    core::CpFlushStats s = v.db->consistency_point();
-    ++v.stats.cps;
-    v.stats.cp_micros.record(now_micros() - t0);
-    return s;
-  });
+  return run_on(
+      find(tenant),
+      [this](Volume& v) {
+        const std::uint64_t t0 = now_micros();
+        core::CpFlushStats s = v.db->consistency_point();
+        ++v.stats.cps;
+        const std::uint64_t d = now_micros() - t0;
+        v.stats.cp_micros.record(d);
+        hot_.cps->add(metric_slot());
+        hot_.cp_micros->record(metric_slot(), d);
+        return s;
+      },
+      /*background=*/false, 0, 0, /*bypass_gate=*/false, TraceVerb::kCp);
 }
 
 std::future<std::uint64_t> VolumeManager::relocate(const std::string& tenant,
@@ -482,18 +638,27 @@ std::future<std::uint64_t> VolumeManager::relocate(const std::string& tenant,
 
 std::future<core::Epoch> VolumeManager::take_snapshot(const std::string& tenant,
                                                       core::LineId line) {
-  return run_on(find(tenant), [line](Volume& v) {
-    // Retain the in-progress CP as the snapshot version, then commit it:
-    // updates applied before this verb carry from == version and are part
-    // of the snapshot; the CP advance makes later updates invisible to it.
-    const core::Epoch version = v.db->registry().take_snapshot(line);
-    const std::uint64_t t0 = now_micros();
-    v.db->consistency_point();
-    ++v.stats.cps;
-    v.stats.cp_micros.record(now_micros() - t0);
-    ++v.stats.snapshots;
-    return version;
-  });
+  return run_on(
+      find(tenant),
+      [this, line](Volume& v) {
+        // Retain the in-progress CP as the snapshot version, then commit it:
+        // updates applied before this verb carry from == version and are part
+        // of the snapshot; the CP advance makes later updates invisible to it.
+        const core::Epoch version = v.db->registry().take_snapshot(line);
+        const std::uint64_t t0 = now_micros();
+        v.db->consistency_point();
+        ++v.stats.cps;
+        const std::uint64_t d = now_micros() - t0;
+        v.stats.cp_micros.record(d);
+        ++v.stats.snapshots;
+        const std::size_t slot = metric_slot();
+        hot_.cps->add(slot);
+        hot_.cp_micros->record(slot, d);
+        hot_.snapshots->add(slot);
+        return version;
+      },
+      /*background=*/false, 0, 0, /*bypass_gate=*/false,
+      TraceVerb::kSnapshot);
 }
 
 std::future<core::LineId> VolumeManager::create_clone(const std::string& tenant,
@@ -729,7 +894,7 @@ MigrationStats VolumeManager::migrate_volume(const std::string& tenant,
   std::future<Drain> drained = prom->get_future();
   pool_.submit(
       ms.source_shard,
-      [vol, prom, target_shard, require_clean] {
+      [this, vol, prom, target_shard, require_clean] {
         try {
           Drain result = Drain::kClean;
           if (vol->db != nullptr) {
@@ -738,6 +903,7 @@ MigrationStats VolumeManager::migrate_volume(const std::string& tenant,
             } else {
               if (flush_buffered_cp(*vol)) result = Drain::kForcedCp;
               ++vol->stats.migrations;
+              hot_.migrations->add(metric_slot());
               vol->stats.shard = target_shard;
             }
           }
@@ -807,14 +973,18 @@ std::future<std::vector<core::BackrefEntry>> VolumeManager::query(
     core::QueryOptions opts) {
   return run_on(
       find(tenant),
-      [=](Volume& v) {
+      [this, first, count, opts](Volume& v) {
         const std::uint64_t t0 = now_micros();
         std::vector<core::BackrefEntry> r = v.db->query(first, count, opts);
         ++v.stats.queries;
-        v.stats.query_micros.record(now_micros() - t0);
+        const std::uint64_t d = now_micros() - t0;
+        v.stats.query_micros.record(d);
+        hot_.queries->add(metric_slot());
+        hot_.query_micros->record(metric_slot(), d);
         return r;
       },
-      /*background=*/false, /*ops_cost=*/1);
+      /*background=*/false, /*ops_cost=*/1, 0, /*bypass_gate=*/false,
+      TraceVerb::kQuery);
 }
 
 std::future<std::vector<core::CombinedRecord>> VolumeManager::scan_all(
@@ -824,13 +994,18 @@ std::future<std::vector<core::CombinedRecord>> VolumeManager::scan_all(
 
 std::future<core::MaintenanceStats> VolumeManager::maintain(
     const std::string& tenant) {
-  return run_on(find(tenant), [](Volume& v) {
-    const std::uint64_t t0 = now_micros();
-    core::MaintenanceStats m = v.db->maintain();
-    ++v.stats.maintenance_runs;
-    v.stats.maintenance_micros.record(now_micros() - t0);
-    return m;
-  });
+  return run_on(
+      find(tenant),
+      [this](Volume& v) {
+        const std::uint64_t t0 = now_micros();
+        core::MaintenanceStats m = v.db->maintain();
+        ++v.stats.maintenance_runs;
+        v.stats.maintenance_micros.record(now_micros() - t0);
+        hot_.maintenance_runs->add(metric_slot());
+        return m;
+      },
+      /*background=*/false, 0, 0, /*bypass_gate=*/false,
+      TraceVerb::kMaintenance);
 }
 
 bool VolumeManager::schedule_maintenance(const std::string& tenant,
@@ -851,7 +1026,7 @@ bool VolumeManager::schedule_maintenance(const std::string& tenant,
   const std::uint64_t bytes = policy.db_bytes_threshold;
   run_on(
       vol,
-      [l0, bytes](Volume& v) {
+      [this, l0, bytes](Volume& v) {
         PendingGuard guard{v.maintenance_pending};
         const core::QuickStats q = v.db->quick_stats();
         // maintain() requires an empty write store; mid-CP-window volumes
@@ -871,6 +1046,7 @@ bool VolumeManager::schedule_maintenance(const std::string& tenant,
         v.db->maintain();
         ++v.stats.maintenance_runs;
         v.stats.maintenance_micros.record(now_micros() - t0);
+        hot_.maintenance_runs->add(metric_slot());
       },
       /*background=*/true);
   return true;

@@ -49,8 +49,10 @@
 
 #include "core/backlog_db.hpp"
 #include "core/file_manifest.hpp"
+#include "service/metrics.hpp"
 #include "service/qos.hpp"
 #include "service/service_stats.hpp"
+#include "service/trace.hpp"
 #include "service/worker_pool.hpp"
 #include "storage/env.hpp"
 #include "util/clock.hpp"
@@ -110,8 +112,26 @@ struct ServiceOptions {
   bool clone_persist_refs_last = false;
 
   /// Fault-injection hook installed on every hosted volume's Env (see
-  /// Env::set_fault_hook): lets tests fail a link/copy mid-clone.
+  /// Env::set_fault_hook): lets tests fail a link/copy mid-clone or inject
+  /// IO latency (slow-op forensics tests sleep in it).
   storage::Env::FaultHook env_fault_hook;
+
+  // --- observability (see trace.hpp / metrics.hpp) -------------------------
+  // Both knobs are also adjustable at runtime via set_tracing(). While
+  // either is non-zero every foreground op is stage-stamped (one extra
+  // clock read per op); with both zero the trace machinery costs one
+  // relaxed atomic load per op and allocates nothing.
+
+  /// Record every Nth foreground op of a volume into its shard's trace
+  /// ring (0 = sampling off).
+  std::uint32_t trace_sample_every = 0;
+  /// Ops whose end-to-end latency reaches this land in the slow-op log with
+  /// their full stage breakdown (0 = off). Exact, not sampled.
+  std::uint64_t slow_op_micros = 0;
+  /// Capacity of each shard's sampled-span ring / slow-op log (oldest
+  /// evicted, pushes never block the shard thread).
+  std::size_t trace_ring_size = 1024;
+  std::size_t slow_op_ring_size = 256;
 };
 
 /// Thresholds steering background maintenance (see MaintenanceScheduler).
@@ -332,6 +352,7 @@ class VolumeManager {
     std::size_t shard = 0;
     std::size_t queue_depth = 0;           ///< pending tasks (fg + bg)
     std::uint64_t latency_ewma_micros = 0; ///< EWMA of task execution time
+    std::uint64_t busy_micros = 0;         ///< cumulative task-execution time
   };
   [[nodiscard]] std::vector<ShardLoad> shard_loads() const;
 
@@ -391,6 +412,29 @@ class VolumeManager {
   /// other shards, and the fleet never takes a coordinated stats blip.
   ServiceStats stats();
 
+  // --- observability -----------------------------------------------------
+
+  /// The service's metric registry (always on: every verb bumps its
+  /// counters with one uncontended relaxed store). Scrape with
+  /// to_prometheus()/to_json(); windowed rates come from MetricsPoller.
+  [[nodiscard]] MetricsRegistry& metrics() noexcept { return metrics_; }
+
+  /// Adjust tracing at runtime (overrides the ServiceOptions seeds, applies
+  /// to ops submitted after the call). sample_every=0 disables sampling,
+  /// slow_op_micros=0 disables the slow-op log; with both zero foreground
+  /// ops are not stage-stamped at all.
+  void set_tracing(std::uint32_t sample_every,
+                   std::uint64_t slow_op_micros) noexcept {
+    trace_.sample_every.store(sample_every, std::memory_order_relaxed);
+    trace_.slow_op_micros.store(slow_op_micros, std::memory_order_relaxed);
+  }
+
+  /// Sampled spans / slow-op log entries across all shards, oldest first.
+  /// Gathered like stats(): a task per shard reads that shard's rings on
+  /// its own thread, so the rings themselves need no synchronization.
+  [[nodiscard]] std::vector<TraceSpan> trace_spans();
+  [[nodiscard]] std::vector<TraceSpan> slow_ops();
+
   /// Test/tooling hook: run `fn` with exclusive access to the tenant's db on
   /// its shard.
   std::future<void> with_db(const std::string& tenant,
@@ -440,6 +484,9 @@ class VolumeManager {
     std::unique_ptr<core::BacklogDb> db;
     TenantStats stats;  // shard-thread-only
     std::atomic<bool> maintenance_pending{false};
+    // Trace sampling cursor: every Nth foreground op of this volume is
+    // recorded (relaxed fetch_add on the submit path, only while tracing).
+    std::atomic<std::uint64_t> trace_seq{0};
   };
 
   [[nodiscard]] std::shared_ptr<Volume> find(const std::string& tenant) const;
@@ -447,7 +494,7 @@ class VolumeManager {
   /// Shard-thread helper: flush buffered updates as a consistency point
   /// (with stats accounting) if there are any; returns whether a CP was
   /// taken. Used by clone_volume's quiesce and migrate_volume's drain.
-  static bool flush_buffered_cp(Volume& v);
+  bool flush_buffered_cp(Volume& v);
 
   /// Route one task to wherever the volume currently lives: its shard's
   /// queue, or the volume's parked deque while a migration handoff is in
@@ -513,10 +560,16 @@ class VolumeManager {
   /// `bypass_gate` is for purely observational verbs (stats snapshots):
   /// they carry no ordering promise, and waiting behind a fully throttled
   /// tenant's queue would let one tenant stall fleet monitoring.
+  ///
+  /// `verb`/`op_count` label the op for tracing (see trace.hpp): while
+  /// tracing is enabled a TraceCtx rides by value inside the task body,
+  /// survives a migration park/replay with it, and is finished into the
+  /// executing shard's trace ring / slow-op log by finish_trace().
   template <typename Fn>
   auto run_on(std::shared_ptr<Volume> vol, Fn fn, bool background = false,
               double ops_cost = 0, double bytes_cost = 0,
-              bool bypass_gate = false)
+              bool bypass_gate = false, TraceVerb verb = TraceVerb::kControl,
+              std::uint32_t op_count = 1)
       -> std::future<std::invoke_result_t<Fn&, Volume&>> {
     using R = std::invoke_result_t<Fn&, Volume&>;
     auto prom = std::make_shared<std::promise<R>>();
@@ -528,53 +581,105 @@ class VolumeManager {
     // reuses the worker loop's task-boundary timestamp instead of reading
     // the clock again, so the common uncontended op pays for *zero* extra
     // clock reads instead of two. Background probes idle by design; their
-    // wait would only pollute the histogram.
-    std::uint64_t t_submit = 0;
-    if (!background &&
-        (vol->gate.gated() ||
-         pool_.queue_depth_approx(
-             vol->shard.load(std::memory_order_relaxed)) > 0)) {
-      t_submit = util::now_micros();
+    // wait would only pollute the histogram. While tracing is enabled every
+    // foreground op is stamped instead — a full span needs its submit time
+    // unconditionally, and the slow-op check must be exact, not sampled.
+    TraceCtx ctx;
+    ctx.verb = verb;
+    ctx.ops = op_count;
+    if (!background && trace_.enabled()) {
+      ctx.active = true;
+      ctx.id = next_trace_id_.fetch_add(1, std::memory_order_relaxed);
+      ctx.t_submit = util::now_micros();
+      ctx.submit_shard = static_cast<std::uint16_t>(
+          vol->shard.load(std::memory_order_relaxed));
+      const std::uint32_t every =
+          trace_.sample_every.load(std::memory_order_relaxed);
+      ctx.sampled =
+          every != 0 &&
+          vol->trace_seq.fetch_add(1, std::memory_order_relaxed) % every == 0;
+    } else if (!background &&
+               (vol->gate.gated() ||
+                pool_.queue_depth_approx(
+                    vol->shard.load(std::memory_order_relaxed)) > 0)) {
+      ctx.t_submit = util::now_micros();
     }
-    auto body = [fn = std::move(fn), prom, t_submit](Volume& v) mutable {
-      try {
-        if (t_submit != 0) {
-          const std::uint64_t now = WorkerPool::dispatch_time_micros();
-          v.stats.queue_wait_micros.record(now > t_submit ? now - t_submit
-                                                          : 0);
+    // The body is built by a factory so the gated path below can construct
+    // it at release time, after stamping the gate-admit time into the ctx
+    // it captures.
+    auto make_body = [this, prom](Fn fn, TraceCtx ctx) {
+      return [this, fn = std::move(fn), prom, ctx](Volume& v) mutable {
+        try {
+          std::uint64_t t_exec = 0;
+          if (ctx.t_submit != 0) {
+            t_exec = WorkerPool::dispatch_time_micros();
+            if (t_exec < ctx.t_submit) t_exec = ctx.t_submit;
+            // Same meaning as always: queue time plus any gate wait (the
+            // span splits the two; the histogram keeps the total).
+            v.stats.queue_wait_micros.record(t_exec - ctx.t_submit);
+            hot_.queue_wait_micros->record(metric_slot(),
+                                           t_exec - ctx.t_submit);
+          }
+          if (v.db == nullptr)
+            throw std::logic_error("volume is closed: " + v.tenant);
+          const std::uint64_t io_before =
+              ctx.active ? v.env->stats().io_micros : 0;
+          if constexpr (std::is_void_v<R>) {
+            fn(v);
+            if (ctx.active) finish_trace(v, ctx, t_exec, io_before);
+            prom->set_value();
+          } else {
+            R result = fn(v);
+            if (ctx.active) finish_trace(v, ctx, t_exec, io_before);
+            prom->set_value(std::move(result));
+          }
+        } catch (...) {
+          prom->set_exception(std::current_exception());
         }
-        if (v.db == nullptr)
-          throw std::logic_error("volume is closed: " + v.tenant);
-        if constexpr (std::is_void_v<R>) {
-          fn(v);
-          prom->set_value();
-        } else {
-          prom->set_value(fn(v));
-        }
-      } catch (...) {
-        prom->set_exception(std::current_exception());
-      }
+      };
     };
     if (background || bypass_gate || !vol->gate.gated()) {
-      submit_chasing(std::move(vol), std::move(body), background);
+      submit_chasing(std::move(vol), make_body(std::move(fn), ctx),
+                     background);
       return fut;
     }
     // Gated: the gate either runs the release thunk inline (admitted),
     // keeps it for the pacer (queued), or drops it (rejected — fail the
-    // promise with the backpressure signal).
+    // promise with the backpressure signal). The thunk builds the body
+    // itself so a traced op's gate wait ends exactly at release.
     Volume* gate_vol = vol.get();
-    std::function<void()> release = [this, vol = std::move(vol),
-                                     body = std::move(body)]() mutable {
-      submit_chasing(std::move(vol), std::move(body), /*background=*/false);
+    std::function<void()> release = [this, make_body, vol = std::move(vol),
+                                     fn = std::move(fn), ctx]() mutable {
+      if (ctx.active) ctx.t_admit = util::now_micros();
+      submit_chasing(std::move(vol), make_body(std::move(fn), ctx),
+                     /*background=*/false);
     };
-    if (gate_vol->gate.admit(ops_cost, bytes_cost, util::now_micros(),
-                             std::move(release)) == Admission::kRejected) {
+    const Admission adm = gate_vol->gate.admit(
+        ops_cost, bytes_cost, util::now_micros(), std::move(release));
+    if (adm == Admission::kQueued) {
+      hot_.throttle_queued->add(metric_slot());
+    } else if (adm == Admission::kRejected) {
+      hot_.throttle_rejected->add(metric_slot());
       prom->set_exception(std::make_exception_ptr(ServiceError(
           ErrorCode::kThrottled,
           "throttled: QoS wait queue full for " + gate_vol->tenant)));
     }
     return fut;
   }
+
+  /// Slot of the calling thread in the metrics registry: its shard index on
+  /// a worker thread, the extra trailing slot for API/control threads.
+  [[nodiscard]] std::size_t metric_slot() const noexcept {
+    const std::size_t s = WorkerPool::current_shard();
+    return s == WorkerPool::kNoShard ? pool_.size() : s;
+  }
+
+  /// Shard-thread tail of a traced op (see run_on): computes the stage
+  /// breakdown, pushes the span into this shard's trace ring (if sampled)
+  /// and into the slow-op log (if over threshold), and bumps the trace
+  /// counters. Never allocates, never blocks.
+  void finish_trace(Volume& v, const TraceCtx& ctx, std::uint64_t t_exec,
+                    std::uint64_t io_before_micros) noexcept;
 
   /// Lazily start / stop the QoS pacer thread (drains throttled volumes'
   /// wait queues as tokens refill).
@@ -599,6 +704,41 @@ class VolumeManager {
   /// by destroy_volume and by clone_volume's committed-directory cleanup.
   void release_directory_via_manifest(const std::filesystem::path& dir);
 
+  /// All trace/slow-op spans of one shard, owned (written and read) only on
+  /// that shard's thread — scrapes run as tasks on the shard.
+  struct ShardTelemetry {
+    TraceRing ring;
+    TraceRing slow;
+    ShardTelemetry(std::size_t ring_cap, std::size_t slow_cap)
+        : ring(ring_cap), slow(slow_cap) {}
+  };
+
+  /// trace_spans()/slow_ops() implementation: per-shard ring snapshots,
+  /// merged and sorted by submit time.
+  [[nodiscard]] std::vector<TraceSpan> gather_spans(bool slow);
+
+  /// Pre-resolved registry handles for the hot path (wired once in the
+  /// constructor; see the metric catalog in README "Observability").
+  struct HotMetrics {
+    MetricsRegistry::Counter* updates = nullptr;
+    MetricsRegistry::Counter* batches = nullptr;
+    MetricsRegistry::Counter* queries = nullptr;
+    MetricsRegistry::Counter* cps = nullptr;
+    MetricsRegistry::Counter* snapshots = nullptr;
+    MetricsRegistry::Counter* migrations = nullptr;
+    MetricsRegistry::Counter* maintenance_runs = nullptr;
+    MetricsRegistry::Counter* throttle_queued = nullptr;
+    MetricsRegistry::Counter* throttle_rejected = nullptr;
+    MetricsRegistry::Counter* trace_spans = nullptr;
+    MetricsRegistry::Counter* trace_evictions = nullptr;
+    MetricsRegistry::Counter* slow_ops = nullptr;
+    MetricsRegistry::Histogram* update_batch_micros = nullptr;
+    MetricsRegistry::Histogram* query_micros = nullptr;
+    MetricsRegistry::Histogram* cp_micros = nullptr;
+    MetricsRegistry::Histogram* queue_wait_micros = nullptr;
+    MetricsRegistry::Histogram* gate_wait_micros = nullptr;
+  };
+
   ServiceOptions options_;
   core::FileManifest shared_files_;  // shared-file refcounts (CoW clones)
   mutable std::mutex mu_;  // guards volumes_ (name -> volume membership)
@@ -611,6 +751,14 @@ class VolumeManager {
   std::condition_variable pacer_cv_;
   bool pacer_stop_ = false;
   std::thread pacer_;
+  // Observability state. The registry has one slot per shard plus one for
+  // API/control threads; telemetry_ is indexed by shard and only touched on
+  // that shard's thread.
+  MetricsRegistry metrics_;
+  TraceControl trace_;
+  std::vector<std::unique_ptr<ShardTelemetry>> telemetry_;
+  std::atomic<std::uint64_t> next_trace_id_{1};
+  HotMetrics hot_;
   // Declared last: ~WorkerPool drains and joins before volumes_ goes away.
   WorkerPool pool_;
 };

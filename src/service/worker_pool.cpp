@@ -82,6 +82,10 @@ WorkerPool::WorkerPool(std::size_t shards, std::size_t bg_starvation_limit,
               s->ewma_micros.load(std::memory_order_relaxed);
           s->ewma_micros.store(old == 0 ? d : (7 * old + d) / 8,
                                std::memory_order_relaxed);
+          // Busy clock: same `d`, plain relaxed load+store (single writer).
+          s->busy_micros.store(
+              s->busy_micros.load(std::memory_order_relaxed) + d,
+              std::memory_order_relaxed);
         }
       }
     });

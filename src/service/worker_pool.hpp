@@ -104,10 +104,20 @@ class WorkerPool {
     return shards_[shard]->ewma_micros.load(std::memory_order_relaxed);
   }
 
+  /// Cumulative micros this shard's thread has spent *executing tasks* (the
+  /// busy half of its busy/idle clock; blocking pops are idle). Updated from
+  /// the task-boundary timestamps the drain loop already reads, so the
+  /// signal is free on the hot path. MetricsPoller differences successive
+  /// readings against wall time into a busy fraction.
+  [[nodiscard]] std::uint64_t busy_micros(std::size_t shard) const {
+    return shards_[shard]->busy_micros.load(std::memory_order_relaxed);
+  }
+
  private:
   struct Shard {
     ShardQueue queue;
     std::atomic<std::uint64_t> ewma_micros{0};
+    std::atomic<std::uint64_t> busy_micros{0};
     /// Tasks of the current chunk popped from the queue but not yet
     /// finished (set by the worker after pop_many, decremented per task).
     std::atomic<std::size_t> inflight{0};

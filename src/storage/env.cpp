@@ -12,6 +12,8 @@
 #include <stdexcept>
 #include <system_error>
 
+#include "util/clock.hpp"
+
 static_assert(std::endian::native == std::endian::little,
               "Backlog on-disk formats require a little-endian host");
 
@@ -29,6 +31,22 @@ std::uint64_t pages_touched(std::uint64_t offset, std::uint64_t len) {
   const std::uint64_t last = (offset + len - 1) / kPageSize;
   return last - first + 1;
 }
+
+/// Accumulates wall time spent inside a syscall loop into IoStats::io_micros
+/// (two steady-clock reads, negligible against the syscall itself).
+class IoTimer {
+ public:
+  explicit IoTimer(IoStats& stats)
+      : stats_(stats), start_(util::now_micros()) {}
+  ~IoTimer() { stats_.io_micros += util::now_micros() - start_; }
+
+  IoTimer(const IoTimer&) = delete;
+  IoTimer& operator=(const IoTimer&) = delete;
+
+ private:
+  IoStats& stats_;
+  std::uint64_t start_;
+};
 
 }  // namespace
 
@@ -48,6 +66,7 @@ Env::Env(std::filesystem::path root) : root_(std::move(root)) {
 }
 
 std::unique_ptr<WritableFile> Env::create_file(const std::string& name) {
+  if (fault_hook_) fault_hook_("create", name);
   ++stats_.files_created;
   return std::make_unique<WritableFile>(*this, full(name));
 }
@@ -137,6 +156,7 @@ WritableFile::~WritableFile() {
 
 void WritableFile::append(std::span<const std::uint8_t> data) {
   if (fd_ < 0) throw std::logic_error("WritableFile: append after close");
+  const IoTimer timer(env_.stats_);
   const std::uint8_t* p = data.data();
   std::size_t remaining = data.size();
   while (remaining > 0) {
@@ -156,7 +176,12 @@ void WritableFile::append(std::span<const std::uint8_t> data) {
 void WritableFile::sync() {
   if (fd_ < 0) return;
   if (!env_.sync_enabled_) return;
+  const std::uint64_t start = util::now_micros();
   if (::fsync(fd_) < 0) throw_errno("fsync");
+  const std::uint64_t d = util::now_micros() - start;
+  ++env_.stats_.fsyncs;
+  env_.stats_.fsync_micros += d;
+  env_.stats_.io_micros += d;
 }
 
 void WritableFile::close() {
@@ -183,6 +208,7 @@ RandomAccessFile::~RandomAccessFile() {
 
 void RandomAccessFile::read(std::uint64_t offset,
                             std::span<std::uint8_t> data) const {
+  const IoTimer timer(env_.stats_);
   std::uint8_t* p = data.data();
   std::size_t remaining = data.size();
   std::uint64_t off = offset;
@@ -213,6 +239,7 @@ void RandomAccessFile::write_page(std::uint64_t page_no,
   if (!writable_) throw std::logic_error("write_page on read-only file");
   if (page.size() != kPageSize)
     throw std::invalid_argument("write_page: buffer must be one page");
+  const IoTimer timer(env_.stats_);
   const std::uint64_t offset = page_no * kPageSize;
   const std::uint8_t* p = page.data();
   std::size_t remaining = page.size();
@@ -234,7 +261,12 @@ void RandomAccessFile::write_page(std::uint64_t page_no,
 
 void RandomAccessFile::sync() {
   if (!env_.sync_enabled_) return;
+  const std::uint64_t start = util::now_micros();
   if (::fsync(fd_) < 0) throw_errno("fsync");
+  const std::uint64_t d = util::now_micros() - start;
+  ++env_.stats_.fsyncs;
+  env_.stats_.fsync_micros += d;
+  env_.stats_.io_micros += d;
 }
 
 TempDir::TempDir(const std::string& prefix) {

@@ -24,7 +24,11 @@ namespace backlog::storage {
 inline constexpr std::size_t kPageSize = 4096;
 
 /// Monotonically increasing I/O counters. `page_reads`/`page_writes` count
-/// 4 KB pages touched, the unit the paper reports.
+/// 4 KB pages touched, the unit the paper reports. `fsyncs`/`fsync_micros`
+/// count durability barriers actually issued (no-op syncs under
+/// `set_sync(false)` are not charged); `io_micros` is wall time spent inside
+/// read/write/fsync syscalls (fsync time is a subset of it) and is what the
+/// per-op trace spans report as their IO stage.
 struct IoStats {
   std::uint64_t page_reads = 0;
   std::uint64_t page_writes = 0;
@@ -32,8 +36,28 @@ struct IoStats {
   std::uint64_t bytes_written = 0;
   std::uint64_t files_created = 0;
   std::uint64_t files_deleted = 0;
+  std::uint64_t fsyncs = 0;
+  std::uint64_t fsync_micros = 0;
+  std::uint64_t io_micros = 0;
 
   void reset() { *this = IoStats{}; }
+
+  /// Field-complete accumulate: TenantStats::merge and every other consumer
+  /// fold IoStats with this operator so a newly added counter cannot be
+  /// silently dropped (the static_assert below trips when a field is added
+  /// without updating += and -).
+  IoStats& operator+=(const IoStats& rhs) {
+    page_reads += rhs.page_reads;
+    page_writes += rhs.page_writes;
+    bytes_read += rhs.bytes_read;
+    bytes_written += rhs.bytes_written;
+    files_created += rhs.files_created;
+    files_deleted += rhs.files_deleted;
+    fsyncs += rhs.fsyncs;
+    fsync_micros += rhs.fsync_micros;
+    io_micros += rhs.io_micros;
+    return *this;
+  }
 
   IoStats operator-(const IoStats& rhs) const {
     IoStats d;
@@ -43,9 +67,15 @@ struct IoStats {
     d.bytes_written = bytes_written - rhs.bytes_written;
     d.files_created = files_created - rhs.files_created;
     d.files_deleted = files_deleted - rhs.files_deleted;
+    d.fsyncs = fsyncs - rhs.fsyncs;
+    d.fsync_micros = fsync_micros - rhs.fsync_micros;
+    d.io_micros = io_micros - rhs.io_micros;
     return d;
   }
 };
+
+static_assert(sizeof(IoStats) == 9 * sizeof(std::uint64_t),
+              "IoStats gained a field: update operator+= and operator- above");
 
 class WritableFile;
 class RandomAccessFile;
@@ -104,9 +134,11 @@ class Env {
                     const std::filesystem::path& dst_dir);
 
   /// Fault-injection hook for crash/fault test harnesses: invoked at the
-  /// top of link_file_to ("link") and copy_file_to ("copy") with the file
-  /// name; throwing aborts the operation before it touches the filesystem.
-  /// Null (the default) disables injection.
+  /// top of link_file_to ("link"), copy_file_to ("copy") and create_file
+  /// ("create") with the file name; throwing aborts the operation before it
+  /// touches the filesystem, and a hook that merely sleeps is the standard
+  /// way to inject IO latency (slow-op forensics tests delay "create" to
+  /// stretch consistency points). Null (the default) disables injection.
   using FaultHook = std::function<void(std::string_view op,
                                        const std::string& name)>;
   void set_fault_hook(FaultHook hook) { fault_hook_ = std::move(hook); }

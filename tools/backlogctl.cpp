@@ -52,6 +52,25 @@
 //                                          the autonomous balancer for
 //                                          [cycles] cycles; print the moves
 //                                          and final placement
+//   backlogctl stats <root> [shards] [--json]
+//                                          open every volume under <root>
+//                                          and print the merged ServiceStats
+//                                          (per-tenant table, or one JSON
+//                                          object with --json)
+//   backlogctl metrics <root> [shards] [--prom|--json] [--watch N]
+//                                          open every volume, pulse a
+//                                          synthetic load through the
+//                                          service and print the metrics
+//                                          registry: Prometheus exposition
+//                                          (default) or JSON. --watch N
+//                                          polls N windows first, printing
+//                                          one rate line per window
+//   backlogctl trace <root> <tenants> <ops> [shards] [--sample N] [--slow-us N]
+//                                          stress-style run with per-op
+//                                          tracing on (sample 1-in-N,
+//                                          default 1); dumps the newest
+//                                          sampled spans and the slow-op
+//                                          log (ops slower than --slow-us)
 //
 // Malformed invocations (wrong arity, non-numeric or out-of-range
 // arguments) print usage and exit 2; runtime failures exit 1.
@@ -73,6 +92,7 @@
 #include <filesystem>
 #include <future>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/backlog_db.hpp"
@@ -88,7 +108,8 @@ namespace {
 int usage() {
   std::fprintf(stderr,
                "usage: backlogctl <info|runs|query|raw|scan|maintain|dump-run|"
-               "stress|snap|clone|destroy|migrate|qos|balance> <dir> [args]\n"
+               "stress|snap|clone|destroy|migrate|qos|balance|stats|metrics|"
+               "trace> <dir> [args]\n"
                "       backlogctl query|raw <dir> <block> [count]\n"
                "       backlogctl dump-run <dir> <file>\n"
                "       backlogctl stress <dir> <tenants> <ops> [shards] [--batch N]\n"
@@ -99,7 +120,12 @@ int usage() {
                "[shards]\n"
                "       backlogctl qos <root> <tenant> <ops-per-sec> "
                "<bytes-per-sec> [ops]\n"
-               "       backlogctl balance <root> <shards> [cycles]\n");
+               "       backlogctl balance <root> <shards> [cycles]\n"
+               "       backlogctl stats <root> [shards] [--json]\n"
+               "       backlogctl metrics <root> [shards] [--prom|--json] "
+               "[--watch N]\n"
+               "       backlogctl trace <root> <tenants> <ops> [shards] "
+               "[--sample N] [--slow-us N]\n");
   return 2;
 }
 
@@ -436,17 +462,23 @@ int cmd_qos(const char* root, const std::string& tenant,
   return 0;
 }
 
-int cmd_balance(const char* root, std::size_t shards, std::uint64_t cycles) {
-  // Every directory under the root is a volume.
+/// Every directory under a service root is a volume; sorted for stable
+/// output. Empty result = nothing to operate on (callers report and exit 1).
+std::vector<std::string> discover_tenants(const char* root) {
   std::vector<std::string> tenants;
   for (const auto& e : std::filesystem::directory_iterator(root)) {
     if (e.is_directory()) tenants.push_back(e.path().filename().string());
   }
+  std::sort(tenants.begin(), tenants.end());
+  return tenants;
+}
+
+int cmd_balance(const char* root, std::size_t shards, std::uint64_t cycles) {
+  const std::vector<std::string> tenants = discover_tenants(root);
   if (tenants.empty()) {
     std::fprintf(stderr, "backlogctl: no volumes under %s\n", root);
     return 1;
   }
-  std::sort(tenants.begin(), tenants.end());
 
   service::ServiceOptions so = service_options(root, shards);
   so.sync_writes = false;  // the pulse below annihilates in the write store
@@ -507,6 +539,175 @@ int cmd_balance(const char* root, std::size_t shards, std::uint64_t cycles) {
   return 0;
 }
 
+/// One tenant object of the `stats --json` output (the caller prints the
+/// key). Latencies are the log2 histogram's conservative percentiles (see
+/// LatencyHistogram).
+void print_tenant_json(const service::TenantStats& ts) {
+  std::printf(
+      "{\"shard\":%zu,\"updates\":%" PRIu64 ",\"batches\":%" PRIu64
+      ",\"cps\":%" PRIu64 ",\"queries\":%" PRIu64 ",\"snapshots\":%" PRIu64
+      ",\"clones\":%" PRIu64 ",\"migrations\":%" PRIu64
+      ",\"maintenance_runs\":%" PRIu64 ",\"maintenance_skipped\":%" PRIu64
+      ",\"throttle_queued\":%" PRIu64 ",\"throttle_rejected\":%" PRIu64
+      ",\"owned_bytes\":%" PRIu64 ",\"shared_bytes\":%" PRIu64
+      ",\"update_batch_p50_us\":%" PRIu64 ",\"update_batch_p99_us\":%" PRIu64
+      ",\"query_p50_us\":%" PRIu64 ",\"query_p99_us\":%" PRIu64
+      ",\"queue_wait_p99_us\":%" PRIu64 ",\"io\":{\"page_reads\":%" PRIu64
+      ",\"page_writes\":%" PRIu64 ",\"bytes_read\":%" PRIu64
+      ",\"bytes_written\":%" PRIu64 ",\"fsyncs\":%" PRIu64 "}}",
+      ts.shard, ts.updates, ts.batches, ts.cps, ts.queries, ts.snapshots,
+      ts.clones, ts.migrations, ts.maintenance_runs, ts.maintenance_skipped,
+      ts.throttle_queued, ts.throttle_rejected, ts.owned_bytes,
+      ts.shared_bytes, ts.update_batch_micros.p50(),
+      ts.update_batch_micros.p99(), ts.query_micros.p50(),
+      ts.query_micros.p99(), ts.queue_wait_micros.p99(), ts.io.page_reads,
+      ts.io.page_writes, ts.io.bytes_read, ts.io.bytes_written, ts.io.fsyncs);
+}
+
+int cmd_stats(const char* root, std::size_t shards, bool json) {
+  const std::vector<std::string> tenants = discover_tenants(root);
+  if (tenants.empty()) {
+    std::fprintf(stderr, "backlogctl: no volumes under %s\n", root);
+    return 1;
+  }
+  service::VolumeManager vm(service_options(root, shards));
+  for (const auto& t : tenants) vm.open_volume(t);
+  const service::ServiceStats stats = vm.stats();
+
+  if (json) {
+    std::printf("{\"tenants\":{");
+    bool first = true;
+    for (const auto& [name, ts] : stats.tenants) {
+      if (!first) std::printf(",");
+      first = false;
+      std::printf("\"%s\":", name.c_str());
+      print_tenant_json(ts);
+    }
+    std::printf("},\"total\":");
+    print_tenant_json(stats.total);
+    std::printf("}\n");
+  } else {
+    std::printf("%-20s %6s %10s %8s %8s %10s %12s %8s\n", "tenant", "shard",
+                "updates", "cps", "queries", "maint", "page_writes", "fsyncs");
+    for (const auto& [name, ts] : stats.tenants) {
+      std::printf("%-20s %6zu %10" PRIu64 " %8" PRIu64 " %8" PRIu64
+                  " %10" PRIu64 " %12" PRIu64 " %8" PRIu64 "\n",
+                  name.c_str(), ts.shard, ts.updates, ts.cps, ts.queries,
+                  ts.maintenance_runs, ts.io.page_writes, ts.io.fsyncs);
+    }
+    const auto& t = stats.total;
+    std::printf("total: %" PRIu64 " updates, %" PRIu64 " cps, %" PRIu64
+                " queries; query p50/p99 %" PRIu64 "/%" PRIu64
+                " us, queue wait p99 %" PRIu64 " us\n",
+                t.updates, t.cps, t.queries, t.query_micros.p50(),
+                t.query_micros.p99(), t.queue_wait_micros.p99());
+  }
+  for (const auto& t : tenants) vm.close_volume(t);
+  return 0;
+}
+
+int cmd_metrics(const char* root, std::size_t shards, bool json,
+                std::uint64_t watch) {
+  const std::vector<std::string> tenants = discover_tenants(root);
+  if (tenants.empty()) {
+    std::fprintf(stderr, "backlogctl: no volumes under %s\n", root);
+    return 1;
+  }
+  service::ServiceOptions so = service_options(root, shards);
+  so.sync_writes = false;  // the pulse below annihilates in the write store
+  service::VolumeManager vm(so);
+  for (const auto& t : tenants) vm.open_volume(t);
+
+  // Synthetic annihilating pulse (same trick as `balance`): real dispatch
+  // load, volumes left byte-identical.
+  core::BlockNo probe = 1ull << 40;
+  const auto pulse = [&] {
+    std::vector<std::future<void>> futs;
+    for (const auto& t : tenants) {
+      for (int i = 0; i < 16; ++i) {
+        service::UpdateOp a;
+        a.kind = service::UpdateOp::Kind::kAdd;
+        a.key.block = probe++;
+        a.key.inode = 2;
+        a.key.length = 1;
+        service::UpdateOp r = a;
+        r.kind = service::UpdateOp::Kind::kRemove;
+        futs.push_back(vm.apply(t, {a, r}));
+      }
+    }
+    for (auto& f : futs) f.get();
+  };
+
+  service::MetricsPoller poller(vm, std::chrono::milliseconds(100));
+  pulse();
+  poller.poll_once();  // prime the rate window
+  for (std::uint64_t w = 0; w < std::max<std::uint64_t>(1, watch); ++w) {
+    pulse();
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    const service::RateSample s = poller.poll_once();
+    if (watch > 0) {
+      double busy = 0;
+      for (const double b : s.shard_busy_fraction) busy = std::max(busy, b);
+      std::printf("window %.3fs: %.0f update ops/s, %.0f queries/s, "
+                  "%.0f throttles/s, max shard busy %.1f%%\n",
+                  s.window_seconds, s.update_ops_per_sec, s.queries_per_sec,
+                  s.throttles_per_sec, 100.0 * busy);
+    }
+  }
+
+  const std::string out =
+      json ? vm.metrics().to_json() : vm.metrics().to_prometheus();
+  std::fputs(out.c_str(), stdout);
+  if (json) std::fputs("\n", stdout);
+  for (const auto& t : tenants) vm.close_volume(t);
+  return 0;
+}
+
+int cmd_trace(const char* dir, std::uint64_t tenants, std::uint64_t total_ops,
+              std::uint64_t shards, std::uint64_t sample,
+              std::uint64_t slow_us) {
+  service::ServiceOptions so;
+  so.shards = shards;
+  so.root = dir;
+  so.sync_writes = false;
+  so.trace_sample_every = static_cast<std::uint32_t>(sample);
+  so.slow_op_micros = slow_us;
+  service::VolumeManager vm(so);
+
+  std::vector<fsim::TenantWorkload> workloads;
+  for (std::uint64_t i = 0; i < tenants; ++i) {
+    char name[32];
+    std::snprintf(name, sizeof name, "tenant-%03llu",
+                  static_cast<unsigned long long>(i));
+    vm.open_volume(name);
+    fsim::TenantTraceOptions to;
+    to.block_ops = std::max<std::uint64_t>(1, total_ops / tenants);
+    to.seed = 42 + i;
+    workloads.push_back({name, fsim::synthesize_tenant_trace(to)});
+  }
+  fsim::ReplayOptions ro;
+  ro.query_every_ops = 64;
+  fsim::replay_concurrently(vm, workloads, ro);
+
+  const std::vector<service::TraceSpan> spans = vm.trace_spans();
+  const std::vector<service::TraceSpan> slow = vm.slow_ops();
+  constexpr std::size_t kDumpCap = 64;
+  const std::size_t from = spans.size() > kDumpCap ? spans.size() - kDumpCap : 0;
+  std::printf("sampled spans: %zu recorded (1 in %" PRIu64
+              "), showing newest %zu\n",
+              spans.size(), sample, spans.size() - from);
+  for (std::size_t i = from; i < spans.size(); ++i) {
+    std::printf("%s\n", service::format_span(spans[i]).c_str());
+  }
+  std::printf("slow-op log (>= %" PRIu64 " us): %zu entries\n", slow_us,
+              slow.size());
+  for (const auto& s : slow) {
+    std::printf("%s\n", service::format_span(s).c_str());
+  }
+  for (const auto& name : vm.tenants()) vm.close_volume(name);
+  return 0;
+}
+
 int cmd_migrate(const char* root, const std::string& tenant,
                 std::size_t target, std::size_t shards) {
   service::VolumeManager vm(service_options(root, shards));
@@ -540,7 +741,8 @@ int main(int argc, char** argv) {
   // Arity and argument ranges are validated up front: a malformed
   // invocation is a usage error (exit 2), never a half-parsed run.
   if (cmd == "stress" || cmd == "snap" || cmd == "clone" || cmd == "destroy" ||
-      cmd == "migrate" || cmd == "qos" || cmd == "balance") {
+      cmd == "migrate" || cmd == "qos" || cmd == "balance" || cmd == "stats" ||
+      cmd == "metrics" || cmd == "trace") {
     try {
       if (cmd == "stress") {
         // Trailing option: --batch N routes the replay through apply_batch
@@ -598,6 +800,62 @@ int main(int argc, char** argv) {
           return usage();
         }
         return cmd_balance(argv[2], shards, cycles);
+      }
+      if (cmd == "stats") {
+        // stats <root> [shards] [--json] — one optional shard count, one
+        // optional flag; anything else (double flags, junk) is exit 2.
+        std::uint64_t shards = 1;
+        bool json = false, have_shards = false;
+        for (int i = 3; i < argc; ++i) {
+          if (std::strcmp(argv[i], "--json") == 0 && !json) {
+            json = true;
+          } else if (!have_shards && parse_u64(argv[i], shards, 1, 1024)) {
+            have_shards = true;
+          } else {
+            return usage();
+          }
+        }
+        return cmd_stats(argv[2], shards, json);
+      }
+      if (cmd == "metrics") {
+        std::uint64_t shards = 1, watch = 0;
+        bool json = false, prom = false, have_shards = false;
+        for (int i = 3; i < argc; ++i) {
+          if (std::strcmp(argv[i], "--json") == 0 && !json && !prom) {
+            json = true;
+          } else if (std::strcmp(argv[i], "--prom") == 0 && !json && !prom) {
+            prom = true;
+          } else if (std::strcmp(argv[i], "--watch") == 0 && watch == 0 &&
+                     i + 1 < argc) {
+            if (!parse_u64(argv[++i], watch, 1, 1 << 20)) return usage();
+          } else if (!have_shards && parse_u64(argv[i], shards, 1, 1024)) {
+            have_shards = true;
+          } else {
+            return usage();
+          }
+        }
+        return cmd_metrics(argv[2], shards, json, watch);
+      }
+      if (cmd == "trace") {
+        std::uint64_t tenants = 0, ops = 0, shards = 2, sample = 1,
+                      slow_us = 1000;
+        if (argc < 5 || !parse_u64(argv[3], tenants, 1, 1 << 16) ||
+            !parse_u64(argv[4], ops, 1)) {
+          return usage();
+        }
+        bool have_shards = false;
+        for (int i = 5; i < argc; ++i) {
+          if (std::strcmp(argv[i], "--sample") == 0 && i + 1 < argc) {
+            if (!parse_u64(argv[++i], sample, 1, 1u << 30)) return usage();
+          } else if (std::strcmp(argv[i], "--slow-us") == 0 && i + 1 < argc) {
+            if (!parse_u64(argv[++i], slow_us, 1)) return usage();
+          } else if (!have_shards && parse_u64(argv[i], shards, 1, 1024)) {
+            have_shards = true;
+          } else {
+            return usage();
+          }
+        }
+        return cmd_trace(argv[2], tenants, ops, shards, sample, slow_us);
       }
       std::uint64_t target = 0, shards = 4;
       if (argc < 5 || argc > 6 || !parse_u64(argv[4], target) ||

@@ -157,6 +157,51 @@ def check_dispatch_overhead(rows, min_ratio=3.0):
     return []
 
 
+def check_dispatch_vs_baseline(base_rows, cur_rows, max_ratio=1.2):
+    """Disabled-observability overhead gate: with tracing and metrics off
+    (the dispatch microbench never enables them), the dispatch cost must
+    stay within `max_ratio` of the checked-in baseline. Runner speeds
+    differ, so the comparison is a ratio of ratios — the current run's
+    batched/single split against the baseline's — which cancels the
+    machine and isolates what the observability hooks added to the hot
+    path."""
+    def modes(rows):
+        return {r.get("mode"): r for r in rows
+                if r.get("bench") == "service_dispatch"}
+
+    cur, base = modes(cur_rows), modes(base_rows)
+    if "single" not in cur or "batched" not in cur:
+        print("note: no current service_dispatch rows — baseline dispatch "
+              "gate skipped")
+        return []
+    if "single" not in base or "batched" not in base:
+        print("note: baseline lacks service_dispatch rows — baseline "
+              "dispatch gate skipped")
+        return []
+    base_single = base["single"].get("nanos_per_op", 0)
+    base_batched = base["batched"].get("nanos_per_op", 0)
+    cur_single = cur["single"].get("nanos_per_op", 0)
+    cur_batched = cur["batched"].get("nanos_per_op", 0)
+    if min(base_single, base_batched, cur_single, cur_batched) <= 0:
+        print("note: degenerate dispatch measurement — baseline dispatch "
+              "gate skipped")
+        return []
+    # Fraction of a single-dispatch op that one batched op costs, now vs
+    # then. If the hot path grew (per-op work in the drain loop or the
+    # wrapper), this ratio rises on any machine.
+    base_frac = base_batched / base_single
+    cur_frac = cur_batched / cur_single
+    ratio = cur_frac / base_frac
+    status = "FAIL" if ratio > max_ratio else "ok"
+    print(f"{status}: dispatch cost vs baseline: batched/single "
+          f"{cur_frac:.4f} now vs {base_frac:.4f} baseline = {ratio:.2f}x "
+          f"(gate <= {max_ratio}x with observability disabled)")
+    if ratio > max_ratio:
+        return [f"disabled-observability dispatch cost {ratio:.2f}x the "
+                f"baseline ratio (> {max_ratio}x)"]
+    return []
+
+
 def reference_ops(rows):
     """ops_per_second of the (unbatched) 1-shard/16-tenant sweep-(a) row.
     `batched` is absent in pre-batching baselines, hence the (0, None)."""
@@ -222,6 +267,7 @@ def main():
     failures.extend(check_clone_cost(cur_rows))
     failures.extend(check_shard_scaling(cur_rows))
     failures.extend(check_dispatch_overhead(cur_rows))
+    failures.extend(check_dispatch_vs_baseline(base_rows, cur_rows))
 
     if checked == 0:
         sys.exit("error: no comparable rows between baseline and current run")

@@ -1,0 +1,185 @@
+#!/usr/bin/env python3
+"""Validate Prometheus text exposition produced by `backlogctl metrics --prom`.
+
+Stdlib-only gate for CI: reads the exposition from stdin (or a file given as
+argv[1]) and checks the invariants a scraper relies on:
+
+  * every sample line parses as  name[{labels}] value
+  * metric and label names match the Prometheus grammar
+  * every family has exactly one # HELP and one # TYPE line, appearing
+    before its first sample
+  * counter family names end in _total
+  * histogram families expose _bucket / _sum / _count series, bucket counts
+    are cumulative (non-decreasing as le rises), the le="+Inf" bucket is
+    present and equals _count
+  * no duplicate (name, labels) series
+
+Exit 0 when the exposition is well-formed, 1 with one line per violation.
+"""
+
+import re
+import sys
+
+NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+LABEL_RE = re.compile(r'^([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"$')
+SAMPLE_RE = re.compile(
+    r"^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{([^}]*)\})?\s+(\S+)(\s+\d+)?$")
+
+
+def parse_labels(raw, errors, lineno):
+    labels = {}
+    if not raw:
+        return labels
+    for part in raw.split(","):
+        m = LABEL_RE.match(part.strip())
+        if not m:
+            errors.append(f"line {lineno}: malformed label '{part}'")
+            continue
+        labels[m.group(1)] = m.group(2)
+    return labels
+
+
+def family_of(name):
+    """Histogram series fold into their family name."""
+    for suffix in ("_bucket", "_sum", "_count"):
+        if name.endswith(suffix):
+            return name[: -len(suffix)], suffix
+    return name, ""
+
+
+def check(text):
+    errors = []
+    helps = {}      # family -> lineno
+    types = {}      # family -> (type, lineno)
+    seen_series = set()
+    # histogram family -> list of (le, value); _count/_sum -> value
+    hist_buckets = {}
+    hist_count = {}
+    samples_before_meta = set()
+
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        if line.startswith("# HELP "):
+            rest = line[len("# HELP "):].split(None, 1)
+            if not rest or not NAME_RE.match(rest[0]):
+                errors.append(f"line {lineno}: malformed HELP line")
+                continue
+            if rest[0] in helps:
+                errors.append(f"line {lineno}: duplicate HELP for {rest[0]}")
+            helps[rest[0]] = lineno
+            continue
+        if line.startswith("# TYPE "):
+            rest = line[len("# TYPE "):].split()
+            if len(rest) != 2 or not NAME_RE.match(rest[0]):
+                errors.append(f"line {lineno}: malformed TYPE line")
+                continue
+            if rest[1] not in ("counter", "gauge", "histogram", "summary",
+                               "untyped"):
+                errors.append(
+                    f"line {lineno}: unknown metric type '{rest[1]}'")
+            if rest[0] in types:
+                errors.append(f"line {lineno}: duplicate TYPE for {rest[0]}")
+            types[rest[0]] = (rest[1], lineno)
+            continue
+        if line.startswith("#"):
+            continue  # comment
+
+        m = SAMPLE_RE.match(line)
+        if not m:
+            errors.append(f"line {lineno}: unparseable sample '{line}'")
+            continue
+        name, _, raw_labels, value = m.group(1), m.group(2), m.group(3), \
+            m.group(4)
+        labels = parse_labels(raw_labels, errors, lineno)
+        try:
+            fvalue = float(value)
+        except ValueError:
+            errors.append(f"line {lineno}: non-numeric value '{value}'")
+            continue
+
+        series_key = (name, tuple(sorted(labels.items())))
+        if series_key in seen_series:
+            errors.append(f"line {lineno}: duplicate series {series_key}")
+        seen_series.add(series_key)
+
+        family, suffix = family_of(name)
+        meta_name = family if (
+            family in types and types[family][0] == "histogram") else name
+        if meta_name not in types:
+            samples_before_meta.add(name)
+        ftype = types.get(meta_name, ("untyped", 0))[0]
+
+        if ftype == "counter":
+            if not name.endswith("_total"):
+                errors.append(
+                    f"line {lineno}: counter '{name}' must end in _total")
+            if fvalue < 0:
+                errors.append(f"line {lineno}: negative counter '{name}'")
+        if ftype == "histogram":
+            if suffix == "_bucket":
+                le = labels.get("le")
+                if le is None:
+                    errors.append(
+                        f"line {lineno}: histogram bucket without le label")
+                else:
+                    hist_buckets.setdefault(family, []).append(
+                        (le, fvalue, lineno))
+            elif suffix == "_count":
+                hist_count[family] = fvalue
+
+    for name in sorted(samples_before_meta):
+        errors.append(f"sample '{name}' has no preceding # TYPE line")
+    for family, (_, lineno) in types.items():
+        if family not in helps:
+            errors.append(f"family '{family}' has a TYPE but no HELP line")
+
+    for family, buckets in hist_buckets.items():
+        les = [le for le, _, _ in buckets]
+        if "+Inf" not in les:
+            errors.append(f"histogram '{family}' is missing le=\"+Inf\"")
+            continue
+        # Exposition order must already be cumulative.
+        prev = -1.0
+        for le, value, lineno in buckets:
+            if value < prev:
+                errors.append(
+                    f"line {lineno}: histogram '{family}' bucket le={le} "
+                    f"decreases ({value} < {prev})")
+            prev = value
+        inf_value = dict((le, v) for le, v, _ in buckets)["+Inf"]
+        if family in hist_count and inf_value != hist_count[family]:
+            errors.append(
+                f"histogram '{family}': le=\"+Inf\" bucket ({inf_value}) != "
+                f"_count ({hist_count[family]})")
+        if family not in hist_count:
+            errors.append(f"histogram '{family}' is missing _count")
+
+    return errors
+
+
+def main():
+    if len(sys.argv) > 2:
+        print("usage: check_prom_format.py [exposition.txt] (default stdin)",
+              file=sys.stderr)
+        return 2
+    if len(sys.argv) == 2:
+        with open(sys.argv[1], encoding="utf-8") as f:
+            text = f.read()
+    else:
+        text = sys.stdin.read()
+    if not text.strip():
+        print("FAIL: empty exposition")
+        return 1
+    errors = check(text)
+    for e in errors:
+        print(f"FAIL: {e}")
+    if not errors:
+        families = [l for l in text.splitlines() if l.startswith("# TYPE ")]
+        print(f"ok: exposition well-formed ({len(families)} families)")
+        return 0
+    return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())
