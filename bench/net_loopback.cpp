@@ -1,0 +1,193 @@
+// Wire-protocol overhead: closed-loop apply_batch throughput and latency,
+// in-process vs over a loopback TCP connection to the epoll server.
+//
+// Both modes run the identical workload against the identical VolumeManager
+// configuration; the only difference is whether a batch travels through
+// vm.apply_batch(...).get() directly or is framed, CRC'd, written to a
+// socket, decoded by an I/O thread and answered with a response frame. The
+// ratio of the two is therefore the cost of the wire protocol itself —
+// machine speed cancels out, which is what the regression gate keys on.
+//
+// Sweeps (each emits one JSONROW per mode):
+//   * batch in {1, 256} at 1 connection — per-call overhead vs amortized;
+//   * 4 connections at batch 256 — multiple I/O threads and sockets.
+#include <algorithm>
+#include <cstdio>
+#include <future>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "net/client.hpp"
+#include "net/handlers.hpp"
+#include "service/service.hpp"
+#include "storage/env.hpp"
+
+using namespace backlog;
+
+namespace {
+
+service::UpdateOp add_op(std::uint64_t block) {
+  service::UpdateOp op;
+  op.kind = service::UpdateOp::Kind::kAdd;
+  op.key.block = block;
+  op.key.inode = 2;
+  op.key.length = 1;
+  return op;
+}
+
+std::string conn_tenant(std::size_t i) {
+  char name[32];
+  std::snprintf(name, sizeof name, "conn-%02zu", i);
+  return name;
+}
+
+struct ModeResult {
+  std::uint64_t total_ops = 0;
+  double wall_seconds = 0;
+  std::vector<std::uint64_t> call_micros;  ///< one entry per apply_batch call
+
+  [[nodiscard]] double ops_per_second() const {
+    return wall_seconds > 0 ? static_cast<double>(total_ops) / wall_seconds : 0;
+  }
+  [[nodiscard]] std::uint64_t percentile(double p) {
+    if (call_micros.empty()) return 0;
+    std::sort(call_micros.begin(), call_micros.end());
+    const auto idx = static_cast<std::size_t>(
+        p * static_cast<double>(call_micros.size() - 1));
+    return call_micros[idx];
+  }
+};
+
+/// Runs `connections` closed-loop worker threads, each applying
+/// `ops_per_conn` single-tenant add ops in batches of `batch` via `call`
+/// (which hides whether the path is in-process or a socket). Per-call wall
+/// time lands in ModeResult::call_micros.
+template <typename CallFn>
+ModeResult run_closed_loop(std::size_t connections, std::size_t batch,
+                           std::uint64_t ops_per_conn, CallFn&& call) {
+  std::vector<std::vector<std::uint64_t>> lat(connections);
+  const double t0 = bench::now_seconds();
+  std::vector<std::thread> workers;
+  for (std::size_t c = 0; c < connections; ++c) {
+    workers.emplace_back([&, c] {
+      lat[c].reserve(ops_per_conn / batch + 1);
+      std::vector<service::UpdateOp> ops;
+      ops.reserve(batch);
+      std::uint64_t next_block = 1;
+      for (std::uint64_t sent = 0; sent < ops_per_conn;) {
+        ops.clear();
+        const std::size_t n = static_cast<std::size_t>(
+            std::min<std::uint64_t>(batch, ops_per_conn - sent));
+        for (std::size_t i = 0; i < n; ++i) ops.push_back(add_op(next_block++));
+        const double c0 = bench::now_seconds();
+        call(c, ops);
+        lat[c].push_back(
+            static_cast<std::uint64_t>((bench::now_seconds() - c0) * 1e6));
+        sent += n;
+      }
+    });
+  }
+  for (auto& t : workers) t.join();
+
+  ModeResult r;
+  r.wall_seconds = bench::now_seconds() - t0;
+  r.total_ops = ops_per_conn * connections;
+  for (auto& v : lat)
+    r.call_micros.insert(r.call_micros.end(), v.begin(), v.end());
+  return r;
+}
+
+void emit(const char* mode, std::size_t connections, std::size_t batch,
+          ModeResult r) {
+  const std::uint64_t p50 = r.percentile(0.50);
+  const std::uint64_t p99 = r.percentile(0.99);
+  std::printf("  %-10s conns=%zu batch=%-4zu  ops/s %10.0f   p50 %6llu us   "
+              "p99 %6llu us\n",
+              mode, connections, batch, r.ops_per_second(),
+              static_cast<unsigned long long>(p50),
+              static_cast<unsigned long long>(p99));
+  bench::JsonRow()
+      .str("bench", "net_loopback")
+      .str("mode", mode)
+      .num("connections", connections)
+      .num("batch", batch)
+      .num("total_ops", r.total_ops)
+      .num("wall_seconds", r.wall_seconds)
+      .num("ops_per_second", r.ops_per_second())
+      .num("p50_us", p50)
+      .num("p99_us", p99)
+      .print();
+}
+
+void run_config(std::size_t connections, std::size_t batch,
+                std::uint64_t ops_per_conn) {
+  // Fresh state per config so earlier runs' compaction debt cannot bleed
+  // into later measurements. Same ServiceOptions for both modes.
+  const auto make_vm = [](const storage::TempDir& dir) {
+    service::ServiceOptions so;
+    so.shards = 2;
+    so.root = dir.path();
+    so.sync_writes = false;
+    return std::make_unique<service::VolumeManager>(so);
+  };
+
+  {
+    storage::TempDir dir("backlog_netbench");
+    auto vm = make_vm(dir);
+    for (std::size_t c = 0; c < connections; ++c)
+      vm->open_volume(conn_tenant(c));
+    ModeResult r = run_closed_loop(
+        connections, batch, ops_per_conn,
+        [&](std::size_t c, const std::vector<service::UpdateOp>& ops) {
+          vm->apply_batch(conn_tenant(c), ops).get();
+        });
+    for (std::size_t c = 0; c < connections; ++c)
+      vm->consistency_point(conn_tenant(c));
+    emit("inprocess", connections, batch, std::move(r));
+  }
+
+  {
+    storage::TempDir dir("backlog_netbench");
+    auto vm = make_vm(dir);
+    net::ServiceEndpoint endpoint(*vm);
+    net::ServerOptions opts;
+    opts.port = 0;  // ephemeral loopback port
+    opts.io_threads = 2;
+    endpoint.start(opts);
+
+    std::vector<net::Client> clients(connections);
+    for (std::size_t c = 0; c < connections; ++c) {
+      clients[c].connect("127.0.0.1", endpoint.port());
+      clients[c].open_volume(conn_tenant(c));
+    }
+    ModeResult r = run_closed_loop(
+        connections, batch, ops_per_conn,
+        [&](std::size_t c, const std::vector<service::UpdateOp>& ops) {
+          clients[c].apply_batch(conn_tenant(c), ops);
+        });
+    for (std::size_t c = 0; c < connections; ++c)
+      clients[c].consistency_point(conn_tenant(c));
+    endpoint.stop();
+    emit("loopback", connections, batch, std::move(r));
+  }
+}
+
+}  // namespace
+
+int main() {
+  const bench::Scale scale = bench::Scale::from_env();
+  // Default quick mode (divisor 16): 16k ops per connection — a couple of
+  // seconds per config on a laptop; BACKLOG_BENCH_SCALE=1 for paper scale.
+  const std::uint64_t ops_per_conn =
+      std::max<std::uint64_t>(2048, 262144 / scale.divisor);
+
+  std::printf("net_loopback: wire-protocol overhead, in-process vs loopback "
+              "TCP (%llu ops/connection)\n",
+              static_cast<unsigned long long>(ops_per_conn));
+  run_config(/*connections=*/1, /*batch=*/1, ops_per_conn / 8);
+  run_config(/*connections=*/1, /*batch=*/256, ops_per_conn);
+  run_config(/*connections=*/4, /*batch=*/256, ops_per_conn);
+  return 0;
+}

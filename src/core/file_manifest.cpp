@@ -23,9 +23,18 @@ FileManifest::FileManifest(std::filesystem::path root) : root_(std::move(root)) 
 void FileManifest::load() {
   std::ifstream in(root_ / kRefsName);
   if (!in.is_open()) return;
-  // One line per shared file: "<refcount> <size_bytes> <name>". Parsing
-  // stops at the first malformed line — rebuild() re-derives the truth from
-  // the volume directories anyway.
+  // One line per shared file: "<refcount> <size_bytes> <name>". The file is
+  // untrusted on-disk state, so each field is validated before it is
+  // believed: the name must look like a run file that could actually live in
+  // a volume directory (no path separators, .run suffix, bounded length) and
+  // the counters must be within what the clone machinery can produce —
+  // anything else, including a hostile 2^63 size that would overflow the
+  // saved-bytes accounting, stops the parse. rebuild() re-derives the truth
+  // from the volume directories anyway.
+  constexpr std::size_t kMaxName = 512;
+  constexpr std::size_t kMaxEntries = 1u << 20;
+  constexpr std::uint32_t kMaxRefcount = 1u << 20;
+  constexpr std::uint64_t kMaxSizeBytes = 1ull << 50;
   std::string line;
   while (std::getline(in, line)) {
     std::istringstream row(line);
@@ -33,10 +42,14 @@ void FileManifest::load() {
     std::uint64_t size_bytes = 0;
     std::string name;
     if (!(row >> refcount >> size_bytes >> name) || refcount < 2 ||
-        name.empty()) {
+        refcount > kMaxRefcount || size_bytes > kMaxSizeBytes ||
+        name.empty() || name.size() > kMaxName || !name.ends_with(".run") ||
+        name.find('/') != std::string::npos ||
+        name.find('\\') != std::string::npos) {
       break;
     }
     entries_[name] = Entry{refcount, size_bytes};
+    if (entries_.size() >= kMaxEntries) break;
   }
 }
 

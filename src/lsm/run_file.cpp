@@ -175,18 +175,46 @@ RunFile::RunFile(storage::Env& env, std::string file_name,
   file_->read_page(footer_page, footer);
   if (util::get_u64(footer.data() + kFooterMagic) != kMagic)
     throw std::runtime_error("RunFile: bad magic in " + name_);
+  // The footer is untrusted input (a bit-flipped or truncated file must fail
+  // loudly, never index with a garbage field): every value is range-checked
+  // against the writer's invariants and the actual file size before use.
+  const auto corrupt = [this](const char* what) -> std::runtime_error {
+    return std::runtime_error(std::string("RunFile: corrupt footer (") + what +
+                              ") in " + name_);
+  };
   record_size_ = util::get_u64(footer.data() + kFooterRecordSize);
   record_count_ = util::get_u64(footer.data() + kFooterRecordCount);
   leaf_pages_ = util::get_u64(footer.data() + kFooterLeafPages);
   const std::uint64_t level_count = util::get_u64(footer.data() + kFooterLevelCount);
   const std::uint64_t bloom_offset = util::get_u64(footer.data() + kFooterBloomOffset);
   const std::uint64_t bloom_size = util::get_u64(footer.data() + kFooterBloomSize);
+  // RunWriter enforces record_size in [1, 1024]; 0 would divide by zero two
+  // lines down, and min/max below must both fit in the footer page.
+  if (record_size_ == 0 || record_size_ > 1024 ||
+      kFooterMinMax + 2 * record_size_ > kPageSize) {
+    throw corrupt("record size");
+  }
   records_per_page_ = kPageSize / record_size_;
   entries_per_index_page_ = kPageSize / record_size_;
+  // Everything before the footer page is data; pages and byte ranges the
+  // footer points at must stay inside it.
+  const std::uint64_t data_pages = footer_page;
+  const std::uint64_t data_bytes = footer_page * kPageSize;
+  if (leaf_pages_ > data_pages) throw corrupt("leaf page count");
+  if (record_count_ > leaf_pages_ * records_per_page_)
+    throw corrupt("record count");
+  if (level_count > kMaxLevels) throw corrupt("level count");
   for (std::uint64_t i = 0; i < level_count; ++i) {
     const std::uint8_t* p = footer.data() + kFooterLevels + i * 24;
-    levels_.push_back(
-        {util::get_u64(p), util::get_u64(p + 8), util::get_u64(p + 16)});
+    const LevelInfo info{util::get_u64(p), util::get_u64(p + 8),
+                         util::get_u64(p + 16)};
+    if (info.start_page > data_pages ||
+        info.page_count > data_pages - info.start_page) {
+      throw corrupt("index level page range");
+    }
+    if (info.entry_count > info.page_count * entries_per_index_page_)
+      throw corrupt("index level entry count");
+    levels_.push_back(info);
   }
   if (record_count_ > 0) {
     min_record_.assign(footer.data() + kFooterMinMax,
@@ -194,6 +222,10 @@ RunFile::RunFile(storage::Env& env, std::string file_name,
     max_record_.assign(footer.data() + kFooterMinMax + record_size_,
                        footer.data() + kFooterMinMax + 2 * record_size_);
   }
+  // Bloom range: the subtraction form is overflow-proof (offset + size could
+  // wrap); an oversized size must also never drive the allocation below.
+  if (bloom_offset > data_bytes || bloom_size > data_bytes - bloom_offset)
+    throw corrupt("bloom filter range");
   // Load the Bloom filter eagerly (the paper keeps RS filters resident).
   std::vector<std::uint8_t> bloom_bytes(bloom_size);
   if (bloom_size > 0) file_->read(bloom_offset, bloom_bytes);

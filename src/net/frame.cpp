@@ -1,0 +1,105 @@
+#include "net/frame.hpp"
+
+#include "util/crc32c.hpp"
+#include "util/hash.hpp"
+
+namespace backlog::net {
+
+namespace {
+
+// Header field offsets (see the layout table in frame.hpp).
+constexpr std::size_t kOffMagic = 0;
+constexpr std::size_t kOffVersion = 4;
+constexpr std::size_t kOffVerb = 6;
+constexpr std::size_t kOffTenant = 8;
+constexpr std::size_t kOffPayloadLen = 16;
+constexpr std::size_t kOffCrc = 20;
+
+std::uint32_t compute_crc(std::span<const std::uint8_t> header_wo_crc,
+                          std::span<const std::uint8_t> payload) noexcept {
+  const std::uint32_t h = util::crc32c(header_wo_crc.data(), kOffCrc);
+  return util::crc32c(payload.data(), payload.size(), h);
+}
+
+}  // namespace
+
+const char* to_string(HeaderStatus s) noexcept {
+  switch (s) {
+    case HeaderStatus::kOk: return "ok";
+    case HeaderStatus::kBadMagic: return "bad magic";
+    case HeaderStatus::kBadVersion: return "bad version";
+    case HeaderStatus::kTooLarge: return "payload length over hard cap";
+  }
+  return "unknown";
+}
+
+HeaderStatus decode_header(std::span<const std::uint8_t> bytes,
+                           FrameHeader& out) noexcept {
+  // The caller guarantees kHeaderSize bytes; validate cheapest-first so a
+  // port scanner's garbage is rejected on the first four bytes.
+  out.magic = util::get_u32(bytes.data() + kOffMagic);
+  if (out.magic != kFrameMagic) return HeaderStatus::kBadMagic;
+  out.version = util::get_u16(bytes.data() + kOffVersion);
+  if (out.version != kProtocolVersion) return HeaderStatus::kBadVersion;
+  out.verb = util::get_u16(bytes.data() + kOffVerb);
+  out.tenant_id = util::get_u64(bytes.data() + kOffTenant);
+  out.payload_len = util::get_u32(bytes.data() + kOffPayloadLen);
+  out.crc = util::get_u32(bytes.data() + kOffCrc);
+  if (out.payload_len > kMaxFramePayload) return HeaderStatus::kTooLarge;
+  return HeaderStatus::kOk;
+}
+
+bool frame_crc_ok(std::span<const std::uint8_t> frame) noexcept {
+  const std::uint32_t stored = util::get_u32(frame.data() + kOffCrc);
+  return compute_crc(frame.first(kHeaderSize),
+                     frame.subspan(kHeaderSize)) == stored;
+}
+
+std::vector<std::uint8_t> encode_frame(std::uint16_t verb,
+                                       std::uint64_t tenant_id,
+                                       std::span<const std::uint8_t> payload) {
+  std::vector<std::uint8_t> out(kHeaderSize + payload.size());
+  util::put_u32(out.data() + kOffMagic, kFrameMagic);
+  util::put_u16(out.data() + kOffVersion, kProtocolVersion);
+  util::put_u16(out.data() + kOffVerb, verb);
+  util::put_u64(out.data() + kOffTenant, tenant_id);
+  util::put_u32(out.data() + kOffPayloadLen,
+                static_cast<std::uint32_t>(payload.size()));
+  if (!payload.empty()) {
+    std::memcpy(out.data() + kHeaderSize, payload.data(), payload.size());
+  }
+  util::put_u32(out.data() + kOffCrc,
+                compute_crc({out.data(), kHeaderSize},
+                            {out.data() + kHeaderSize, payload.size()}));
+  return out;
+}
+
+std::vector<std::uint8_t> encode_response_payload(
+    service::ErrorCode code, const std::string& message,
+    std::span<const std::uint8_t> body) {
+  util::Writer w;
+  w.u8(static_cast<std::uint8_t>(code));
+  if (code == service::ErrorCode::kOk) {
+    w.bytes(body);
+  } else {
+    w.string(message);
+  }
+  return w.take();
+}
+
+ResponseView decode_response_prefix(util::Reader& r) {
+  ResponseView v;
+  v.code = static_cast<service::ErrorCode>(r.u8());
+  if (v.code != service::ErrorCode::kOk) {
+    v.message = r.string(/*max_len=*/4096);
+  }
+  return v;
+}
+
+std::uint64_t tenant_hash(std::string_view tenant) noexcept {
+  return tenant.empty()
+             ? 0
+             : util::hash_bytes(tenant.data(), tenant.size(), /*seed=*/0x7e9a97);
+}
+
+}  // namespace backlog::net

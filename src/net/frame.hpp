@@ -1,0 +1,159 @@
+// Wire framing for the Backlog network protocol.
+//
+// One frame = one verb invocation (or its response). The framing is a fixed
+// 24-byte little-endian header followed by the payload:
+//
+//   offset  size  field
+//        0     4  magic        0x42 0x4b 0x4c 0x47 ("BKLG")
+//        4     2  version      kProtocolVersion
+//        6     2  verb         Verb id; responses set kResponseBit
+//        8     8  tenant_id    scheduling hint: util::hash_bytes of the
+//                              tenant name (0 for tenant-less verbs). The
+//                              authoritative tenant name travels in the
+//                              payload; the header copy exists so QoS /
+//                              per-tenant connection scheduling can classify
+//                              a frame without decoding it.
+//       16     4  payload_len  bytes following the header
+//       20     4  crc32c       over header bytes [0, 20) then the payload
+//
+// Everything that arrives off a socket is untrusted: headers are validated
+// field by field (magic, version, length caps) before the payload length is
+// believed, the crc covers header *and* payload so a flipped verb id or
+// length can't slip through, and payloads are decoded exclusively with the
+// bounds-checked util::Reader. A frame that fails any of these checks is a
+// decode error: the connection is closed (a corrupt byte stream cannot be
+// re-synchronized) and the server's decode-error counter is bumped. An
+// *unknown verb* in an otherwise valid frame is NOT a decode error — the
+// stream is still framed, so the server answers ErrorCode::kNoSuchVerb and
+// keeps the connection.
+//
+// Responses reuse the request's verb with kResponseBit set, and their
+// payload starts with one status byte (service::ErrorCode) — on kOk the
+// verb-specific body follows, otherwise a length-prefixed error message.
+// This is how kThrottled backpressure reaches remote clients byte-for-byte
+// identically to in-process callers.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "service/qos.hpp"  // ErrorCode: the shared status space
+#include "util/serde.hpp"
+
+namespace backlog::net {
+
+inline constexpr std::uint32_t kFrameMagic = 0x474c4b42;  // "BKLG" in LE
+inline constexpr std::uint16_t kProtocolVersion = 1;
+inline constexpr std::size_t kHeaderSize = 24;
+inline constexpr std::uint16_t kResponseBit = 0x8000;
+
+/// Absolute payload ceiling, independent of any verb's own cap: a header
+/// promising more than this is corrupt by definition and closes the
+/// connection before a single payload byte is buffered.
+inline constexpr std::uint32_t kMaxFramePayload = 32u << 20;
+
+/// Default per-verb request caps (Server::register_handler takes an explicit
+/// cap; these are the conventional tiers). Control verbs carry names and a
+/// handful of integers; data verbs carry op batches.
+inline constexpr std::uint32_t kControlPayloadCap = 64u << 10;
+inline constexpr std::uint32_t kDataPayloadCap = 4u << 20;
+
+/// Verb ids (wire values — append only).
+enum class Verb : std::uint16_t {
+  kPing = 1,
+  kOpenVolume = 2,
+  kCloseVolume = 3,
+  kDestroyVolume = 4,
+  kListTenants = 5,
+
+  // Data plane: the batch verbs PR 5 built as the RPC surface.
+  kApplyBatch = 16,
+  kQueryBatch = 17,
+  kConsistencyPoint = 18,
+
+  // Snapshot / placement control plane.
+  kTakeSnapshot = 32,
+  kListVersions = 33,
+  kCloneVolume = 34,
+  kMigrateVolume = 35,
+  kSetQos = 36,
+  kQosSnapshot = 37,
+  kQuickStats = 38,
+
+  // Observability / inspection (responses are pre-rendered text so the
+  // remote CLI prints byte-identical reports to the local one).
+  kStatsText = 64,
+  kMetricsText = 65,
+  kPollRates = 66,
+  kSetTracing = 67,
+  kTraceText = 68,
+  kInfoText = 69,
+  kRunsText = 70,
+  kQueryText = 71,
+  kScanText = 72,
+  kMaintainText = 73,
+  kDumpRunText = 74,
+  kBalanceText = 75,
+};
+
+struct FrameHeader {
+  std::uint32_t magic = kFrameMagic;
+  std::uint16_t version = kProtocolVersion;
+  std::uint16_t verb = 0;  ///< Verb id, possibly with kResponseBit
+  std::uint64_t tenant_id = 0;
+  std::uint32_t payload_len = 0;
+  std::uint32_t crc = 0;
+
+  [[nodiscard]] bool is_response() const noexcept {
+    return (verb & kResponseBit) != 0;
+  }
+  [[nodiscard]] Verb verb_id() const noexcept {
+    return static_cast<Verb>(verb & ~kResponseBit);
+  }
+};
+
+/// Header-validation outcome; anything but kOk is a decode error.
+enum class HeaderStatus : std::uint8_t {
+  kOk,
+  kBadMagic,
+  kBadVersion,
+  kTooLarge,  ///< payload_len over kMaxFramePayload
+};
+const char* to_string(HeaderStatus s) noexcept;
+
+/// Decode + validate the fixed header from `bytes` (must hold kHeaderSize).
+/// On kOk, `out` is filled; the crc is NOT checked here (the payload hasn't
+/// arrived yet) — call frame_crc_ok once the full frame is buffered.
+HeaderStatus decode_header(std::span<const std::uint8_t> bytes,
+                           FrameHeader& out) noexcept;
+
+/// CRC of a full frame (header bytes with the stored crc ignored, then the
+/// payload). `frame` must hold kHeaderSize + header.payload_len bytes.
+[[nodiscard]] bool frame_crc_ok(std::span<const std::uint8_t> frame) noexcept;
+
+/// Encode one frame: header (crc computed) + payload.
+std::vector<std::uint8_t> encode_frame(std::uint16_t verb,
+                                       std::uint64_t tenant_id,
+                                       std::span<const std::uint8_t> payload);
+
+/// Response-payload helpers: status byte, then body (kOk) or message.
+std::vector<std::uint8_t> encode_response_payload(
+    service::ErrorCode code, const std::string& message,
+    std::span<const std::uint8_t> body);
+
+/// Decoded response payload; `body` borrows from the reader's buffer on kOk.
+struct ResponseView {
+  service::ErrorCode code = service::ErrorCode::kOk;
+  std::string message;  ///< empty on kOk
+};
+
+/// Split a response payload into status/message and position `r` at the
+/// start of the body. Throws util::SerdeError on truncation.
+ResponseView decode_response_prefix(util::Reader& r);
+
+/// Scheduling-hint tenant id for the frame header.
+std::uint64_t tenant_hash(std::string_view tenant) noexcept;
+
+}  // namespace backlog::net

@@ -1,0 +1,47 @@
+// ServiceEndpoint — the glue between the epoll Server and a VolumeManager.
+//
+// Registers a handler for every wire verb against one VolumeManager:
+// control verbs decode under kControlPayloadCap, the data-plane batch verbs
+// (apply/query) under kDataPayloadCap. Handlers re-validate everything the
+// payload claims (tenant names through the same validation open_volume
+// uses, shard indexes against shard_count()) — the header's tenant hash is
+// a scheduling hint, never an authority. Volume-not-hosted is answered with
+// kNoSuchTenant; a QoS rejection propagates as kThrottled byte-for-byte to
+// the remote caller.
+//
+// The endpoint owns the Server and a MetricsPoller (for the kPollRates
+// verb); net counters land in the VolumeManager's MetricsRegistry.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+
+#include "net/server.hpp"
+#include "service/metrics.hpp"
+#include "service/volume_manager.hpp"
+
+namespace backlog::net {
+
+class ServiceEndpoint {
+ public:
+  /// Registers every verb; does not listen yet.
+  explicit ServiceEndpoint(service::VolumeManager& vm);
+
+  /// Bind + serve. `options.metrics` is overridden to the VolumeManager's
+  /// registry.
+  void start(ServerOptions options);
+  void stop();
+
+  [[nodiscard]] std::uint16_t port() const noexcept { return server_.port(); }
+  [[nodiscard]] const Server& server() const noexcept { return server_; }
+
+ private:
+  void register_handlers();
+
+  service::VolumeManager& vm_;
+  service::MetricsPoller poller_;
+  std::mutex balance_mu_;  ///< kBalanceText cycles run exclusively
+  Server server_;
+};
+
+}  // namespace backlog::net

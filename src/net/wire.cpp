@@ -1,0 +1,260 @@
+#include "net/wire.hpp"
+
+#include <algorithm>
+
+namespace backlog::net::wire {
+
+namespace {
+
+void put_key(util::Writer& w, const core::BackrefKey& k) {
+  w.u64(k.block);
+  w.u64(k.inode);
+  w.u64(k.offset);
+  w.u64(k.length);
+  w.u64(k.line);
+}
+
+core::BackrefKey get_key(util::Reader& r) {
+  core::BackrefKey k;
+  k.block = r.u64();
+  k.inode = r.u64();
+  k.offset = r.u64();
+  k.length = r.u64();
+  k.line = r.u64();
+  return k;
+}
+
+}  // namespace
+
+void put_tenant(util::Writer& w, const std::string& tenant) {
+  w.string(tenant);
+}
+
+std::string get_tenant(util::Reader& r) { return r.string(kMaxTenantLen); }
+
+void put_update_ops(util::Writer& w,
+                    const std::vector<service::UpdateOp>& ops) {
+  w.u32(static_cast<std::uint32_t>(ops.size()));
+  for (const auto& op : ops) {
+    w.u8(static_cast<std::uint8_t>(op.kind));
+    put_key(w, op.key);
+  }
+}
+
+std::vector<service::UpdateOp> get_update_ops(util::Reader& r) {
+  const std::uint32_t n = r.count(kMaxBatchOps);
+  std::vector<service::UpdateOp> ops;
+  ops.reserve(std::min<std::uint32_t>(n, 4096));  // grow under Reader checks
+  for (std::uint32_t i = 0; i < n; ++i) {
+    service::UpdateOp op;
+    const std::uint8_t kind = r.u8();
+    if (kind > static_cast<std::uint8_t>(service::UpdateOp::Kind::kRemove)) {
+      throw util::SerdeError("wire: unknown update kind");
+    }
+    op.kind = static_cast<service::UpdateOp::Kind>(kind);
+    op.key = get_key(r);
+    ops.push_back(op);
+  }
+  return ops;
+}
+
+void put_query_ranges(util::Writer& w,
+                      const std::vector<service::QueryRange>& ranges) {
+  w.u32(static_cast<std::uint32_t>(ranges.size()));
+  for (const auto& q : ranges) {
+    w.u64(q.first);
+    w.u64(q.count);
+    w.u8(q.opts.expand ? 1 : 0);
+    w.u8(q.opts.mask ? 1 : 0);
+  }
+}
+
+std::vector<service::QueryRange> get_query_ranges(util::Reader& r) {
+  const std::uint32_t n = r.count(kMaxQueryRanges);
+  std::vector<service::QueryRange> ranges;
+  ranges.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    service::QueryRange q;
+    q.first = r.u64();
+    q.count = r.u64();
+    q.opts.expand = r.u8() != 0;
+    q.opts.mask = r.u8() != 0;
+    ranges.push_back(q);
+  }
+  return ranges;
+}
+
+void put_query_results(
+    util::Writer& w,
+    const std::vector<std::vector<core::BackrefEntry>>& results) {
+  w.u32(static_cast<std::uint32_t>(results.size()));
+  for (const auto& entries : results) {
+    w.u32(static_cast<std::uint32_t>(entries.size()));
+    for (const auto& e : entries) {
+      put_key(w, e.rec.key);
+      w.u64(e.rec.from);
+      w.u64(e.rec.to);
+      w.u32(static_cast<std::uint32_t>(e.versions.size()));
+      for (const core::Epoch v : e.versions) w.u64(v);
+    }
+  }
+}
+
+std::vector<std::vector<core::BackrefEntry>> get_query_results(
+    util::Reader& r) {
+  const std::uint32_t n = r.count(kMaxQueryRanges);
+  std::vector<std::vector<core::BackrefEntry>> results;
+  results.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const std::uint32_t m = r.count(kMaxEntriesPerRange);
+    std::vector<core::BackrefEntry> entries;
+    entries.reserve(std::min<std::uint32_t>(m, 4096));
+    for (std::uint32_t j = 0; j < m; ++j) {
+      core::BackrefEntry e;
+      e.rec.key = get_key(r);
+      e.rec.from = r.u64();
+      e.rec.to = r.u64();
+      const std::uint32_t k = r.count(kMaxVersionsPerEntry);
+      e.versions.reserve(std::min<std::uint32_t>(k, 4096));
+      for (std::uint32_t v = 0; v < k; ++v) e.versions.push_back(r.u64());
+      entries.push_back(std::move(e));
+    }
+    results.push_back(std::move(entries));
+  }
+  return results;
+}
+
+void put_cp_stats(util::Writer& w, const core::CpFlushStats& s) {
+  w.u64(s.cp);
+  w.u64(s.block_ops);
+  w.u64(s.records_flushed);
+  w.u64(s.pages_written);
+  w.u64(s.wall_micros);
+}
+
+core::CpFlushStats get_cp_stats(util::Reader& r) {
+  core::CpFlushStats s;
+  s.cp = r.u64();
+  s.block_ops = r.u64();
+  s.records_flushed = r.u64();
+  s.pages_written = r.u64();
+  s.wall_micros = r.u64();
+  return s;
+}
+
+void put_quick_stats(util::Writer& w, const core::QuickStats& s) {
+  w.u64(s.from_runs);
+  w.u64(s.to_runs);
+  w.u64(s.combined_runs);
+  w.u64(s.db_bytes);
+  w.u64(s.run_records);
+  w.u64(s.ws_entries);
+  w.u64(s.ops_since_cp);
+}
+
+core::QuickStats get_quick_stats(util::Reader& r) {
+  core::QuickStats s;
+  s.from_runs = r.u64();
+  s.to_runs = r.u64();
+  s.combined_runs = r.u64();
+  s.db_bytes = r.u64();
+  s.run_records = r.u64();
+  s.ws_entries = r.u64();
+  s.ops_since_cp = r.u64();
+  return s;
+}
+
+void put_qos(util::Writer& w, const service::TenantQos& q) {
+  w.f64(q.ops_per_sec);
+  w.f64(q.bytes_per_sec);
+  w.f64(q.burst_ops);
+  w.f64(q.burst_bytes);
+  w.u32(q.weight);
+  w.u64(q.max_wait_queue);
+}
+
+service::TenantQos get_qos(util::Reader& r) {
+  service::TenantQos q;
+  q.ops_per_sec = r.f64();
+  q.bytes_per_sec = r.f64();
+  q.burst_ops = r.f64();
+  q.burst_bytes = r.f64();
+  q.weight = r.u32();
+  q.max_wait_queue = r.u64();
+  return q;
+}
+
+void put_qos_snapshot(util::Writer& w, const service::QosSnapshot& s) {
+  w.u8(s.enabled ? 1 : 0);
+  put_qos(w, s.qos);
+  w.u64(s.admitted);
+  w.u64(s.queued);
+  w.u64(s.released);
+  w.u64(s.rejected);
+  w.u64(s.wait_depth);
+}
+
+service::QosSnapshot get_qos_snapshot(util::Reader& r) {
+  service::QosSnapshot s;
+  s.enabled = r.u8() != 0;
+  s.qos = get_qos(r);
+  s.admitted = r.u64();
+  s.queued = r.u64();
+  s.released = r.u64();
+  s.rejected = r.u64();
+  s.wait_depth = r.u64();
+  return s;
+}
+
+void put_migration_stats(util::Writer& w, const service::MigrationStats& s) {
+  w.u64(s.source_shard);
+  w.u64(s.target_shard);
+  w.u8(s.moved ? 1 : 0);
+  w.u8(s.aborted_dirty ? 1 : 0);
+  w.u8(s.forced_cp ? 1 : 0);
+  w.u64(s.replayed_tasks);
+}
+
+service::MigrationStats get_migration_stats(util::Reader& r) {
+  service::MigrationStats s;
+  s.source_shard = r.u64();
+  s.target_shard = r.u64();
+  s.moved = r.u8() != 0;
+  s.aborted_dirty = r.u8() != 0;
+  s.forced_cp = r.u8() != 0;
+  s.replayed_tasks = r.u64();
+  return s;
+}
+
+void put_rate_sample(util::Writer& w, const service::RateSample& s) {
+  w.u8(s.primed ? 1 : 0);
+  w.u64(s.at_micros);
+  w.f64(s.window_seconds);
+  w.f64(s.update_ops_per_sec);
+  w.f64(s.queries_per_sec);
+  w.f64(s.throttles_per_sec);
+  w.f64(s.io_read_bytes_per_sec);
+  w.f64(s.io_write_bytes_per_sec);
+  w.u32(static_cast<std::uint32_t>(s.shard_busy_fraction.size()));
+  for (const double b : s.shard_busy_fraction) w.f64(b);
+}
+
+service::RateSample get_rate_sample(util::Reader& r) {
+  service::RateSample s;
+  s.primed = r.u8() != 0;
+  s.at_micros = r.u64();
+  s.window_seconds = r.f64();
+  s.update_ops_per_sec = r.f64();
+  s.queries_per_sec = r.f64();
+  s.throttles_per_sec = r.f64();
+  s.io_read_bytes_per_sec = r.f64();
+  s.io_write_bytes_per_sec = r.f64();
+  const std::uint32_t n = r.count(kMaxShardsOnWire);
+  s.shard_busy_fraction.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    s.shard_busy_fraction.push_back(r.f64());
+  }
+  return s;
+}
+
+}  // namespace backlog::net::wire

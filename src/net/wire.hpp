@@ -1,0 +1,71 @@
+// Typed payload codecs for the Backlog wire protocol — the single source of
+// truth for every verb's request/response body, shared by the client library
+// and the server handlers so the two sides can never drift.
+//
+// Encoding discipline: little-endian fixed-width fields via util::Writer;
+// decoding goes exclusively through the bounds-checked util::Reader with an
+// explicit cap on every length/count field, so a corrupt or hostile length
+// can never drive an allocation or a read past the payload (decode_* throws
+// util::SerdeError, which the server answers with kBadRequest and the
+// client surfaces as a protocol error).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/backlog_db.hpp"
+#include "service/metrics.hpp"
+#include "service/qos.hpp"
+#include "service/volume_manager.hpp"
+#include "util/serde.hpp"
+
+namespace backlog::net::wire {
+
+// Decode-side caps. Batches are additionally bounded by the verb's payload
+// cap; these keep a single corrupt count from over-sizing a loop.
+inline constexpr std::size_t kMaxTenantLen = 256;
+inline constexpr std::size_t kMaxFileName = 512;
+inline constexpr std::uint32_t kMaxBatchOps = 1u << 17;
+inline constexpr std::uint32_t kMaxQueryRanges = 1u << 14;
+inline constexpr std::uint32_t kMaxEntriesPerRange = 1u << 20;
+inline constexpr std::uint32_t kMaxVersionsPerEntry = 1u << 16;
+inline constexpr std::uint32_t kMaxShardsOnWire = 4096;
+
+// --- primitives --------------------------------------------------------------
+
+void put_tenant(util::Writer& w, const std::string& tenant);
+std::string get_tenant(util::Reader& r);
+
+void put_update_ops(util::Writer& w,
+                    const std::vector<service::UpdateOp>& ops);
+std::vector<service::UpdateOp> get_update_ops(util::Reader& r);
+
+void put_query_ranges(util::Writer& w,
+                      const std::vector<service::QueryRange>& ranges);
+std::vector<service::QueryRange> get_query_ranges(util::Reader& r);
+
+void put_query_results(
+    util::Writer& w,
+    const std::vector<std::vector<core::BackrefEntry>>& results);
+std::vector<std::vector<core::BackrefEntry>> get_query_results(
+    util::Reader& r);
+
+void put_cp_stats(util::Writer& w, const core::CpFlushStats& s);
+core::CpFlushStats get_cp_stats(util::Reader& r);
+
+void put_quick_stats(util::Writer& w, const core::QuickStats& s);
+core::QuickStats get_quick_stats(util::Reader& r);
+
+void put_qos(util::Writer& w, const service::TenantQos& q);
+service::TenantQos get_qos(util::Reader& r);
+
+void put_qos_snapshot(util::Writer& w, const service::QosSnapshot& s);
+service::QosSnapshot get_qos_snapshot(util::Reader& r);
+
+void put_migration_stats(util::Writer& w, const service::MigrationStats& s);
+service::MigrationStats get_migration_stats(util::Reader& r);
+
+void put_rate_sample(util::Writer& w, const service::RateSample& s);
+service::RateSample get_rate_sample(util::Reader& r);
+
+}  // namespace backlog::net::wire

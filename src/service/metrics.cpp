@@ -274,6 +274,7 @@ RateSample MetricsPoller::poll_once(std::uint64_t now_micros) {
   s.shard_busy_fraction.assign(loads.size(), 0.0);
 
   if (primed_ && now_micros > prev_at_) {
+    s.primed = true;
     const double dt =
         static_cast<double>(now_micros - prev_at_) / 1'000'000.0;
     s.window_seconds = dt;

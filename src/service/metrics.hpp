@@ -173,6 +173,12 @@ class MetricsRegistry {
 
 /// One windowed-rate sample from MetricsPoller.
 struct RateSample {
+  /// False on the first (or otherwise unprimed) poll: there was no previous
+  /// sample to diff against, so every rate below is a meaningless zero, not
+  /// a measured zero. Consumers must skip or label unprimed samples —
+  /// `backlogctl metrics --watch` tags the priming row instead of printing
+  /// an all-zero rate line as if the service were idle.
+  bool primed = false;
   std::uint64_t at_micros = 0;       ///< steady-clock stamp of this sample
   double window_seconds = 0;         ///< width of the window it covers
   double update_ops_per_sec = 0;     ///< add/remove ops applied

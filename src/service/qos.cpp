@@ -112,4 +112,17 @@ QosSnapshot QosGate::snapshot() const {
   return s;
 }
 
+const char* to_string(ErrorCode code) noexcept {
+  switch (code) {
+    case ErrorCode::kOk: return "ok";
+    case ErrorCode::kThrottled: return "throttled";
+    case ErrorCode::kBadRequest: return "bad-request";
+    case ErrorCode::kNoSuchTenant: return "no-such-tenant";
+    case ErrorCode::kNoSuchVerb: return "no-such-verb";
+    case ErrorCode::kTooLarge: return "too-large";
+    case ErrorCode::kInternal: return "internal";
+  }
+  return "unknown";
+}
+
 }  // namespace backlog::service

@@ -43,11 +43,22 @@
 
 namespace backlog::service {
 
-/// Service-level error codes (the future wire protocol's status space).
+/// Service-level error codes — also the wire protocol's status space: a
+/// response frame carries exactly one of these, so remote clients see the
+/// same backpressure signals (kThrottled in particular) as in-process
+/// callers. Append only; the values are on the wire.
 enum class ErrorCode : std::uint8_t {
   kOk = 0,
-  kThrottled = 1,  ///< QoS wait queue full — retry with backoff
+  kThrottled = 1,     ///< QoS wait queue full — retry with backoff
+  kBadRequest = 2,    ///< malformed or out-of-range request payload
+  kNoSuchTenant = 3,  ///< the named volume is not hosted here
+  kNoSuchVerb = 4,    ///< verb id not registered on this server
+  kTooLarge = 5,      ///< payload length over the verb's cap
+  kInternal = 6,      ///< handler threw an unexpected exception
 };
+
+/// Stable wire-facing name of an error code ("ok", "throttled", ...).
+const char* to_string(ErrorCode code) noexcept;
 
 /// Exception carried by a future whose op the service refused; code() lets
 /// callers branch without string matching.

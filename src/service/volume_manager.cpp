@@ -1130,4 +1130,11 @@ std::future<void> VolumeManager::with_db(
                 [fn = std::move(fn)](Volume& v) { fn(*v.db); });
 }
 
+std::future<void> VolumeManager::with_env(
+    const std::string& tenant,
+    std::function<void(storage::Env&, core::BacklogDb&)> fn) {
+  return run_on(find(tenant),
+                [fn = std::move(fn)](Volume& v) { fn(*v.env, *v.db); });
+}
+
 }  // namespace backlog::service

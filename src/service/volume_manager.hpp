@@ -440,6 +440,13 @@ class VolumeManager {
   std::future<void> with_db(const std::string& tenant,
                             std::function<void(core::BacklogDb&)> fn);
 
+  /// Like with_db but also exposes the volume's private Env — for tooling
+  /// that inspects the durable files themselves (run listing, run dumping)
+  /// while the volume stays hosted. Same shard-exclusive execution.
+  std::future<void> with_env(
+      const std::string& tenant,
+      std::function<void(storage::Env&, core::BacklogDb&)> fn);
+
   /// The service-wide reference-counted ownership table of files shared
   /// across volume directories by copy-on-write clones.
   [[nodiscard]] core::FileManifest& shared_files() noexcept {

@@ -165,6 +165,11 @@ void WritableFile::append(std::span<const std::uint8_t> data) {
       if (errno == EINTR) continue;
       throw_errno("write");
     }
+    // POSIX allows write() to return 0 for a nonzero count (e.g. a
+    // non-blocking target); retrying would spin forever, so treat it as the
+    // I/O error it is.
+    if (n == 0)
+      throw std::runtime_error("WritableFile: write returned 0 bytes");
     p += n;
     remaining -= static_cast<std::size_t>(n);
   }

@@ -91,7 +91,10 @@ BloomFilter BloomFilter::deserialize(std::span<const std::uint8_t> in,
   if (in.size() < 8) throw std::runtime_error("bloom: truncated header");
   std::uint64_t words = 0;
   std::memcpy(&words, in.data(), 8);
-  if (in.size() < 8 + words * 8) throw std::runtime_error("bloom: truncated body");
+  // Division form: `8 + words * 8` overflows for a hostile word count near
+  // 2^61, which would wrap small and pass the length check.
+  if (words > (in.size() - 8) / 8)
+    throw std::runtime_error("bloom: truncated body");
   if (words != 0 && !std::has_single_bit(words))
     throw std::runtime_error("bloom: corrupt word count");
   BloomFilter f;

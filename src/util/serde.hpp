@@ -1,10 +1,14 @@
-// Little-endian fixed-width encode/decode helpers for on-disk structures.
-// All Backlog on-disk formats are little-endian; a static_assert in
-// storage/env.cpp rejects big-endian hosts at build time.
+// Little-endian fixed-width encode/decode helpers for on-disk structures,
+// plus the bounds-checked Reader/Writer used by every *untrusted* decode
+// path (wire frames, anything that parses bytes a peer or a disk could have
+// corrupted). All Backlog on-disk formats are little-endian; a static_assert
+// in storage/env.cpp rejects big-endian hosts at build time.
 #pragma once
 
 #include <cstdint>
 #include <cstring>
+#include <span>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -64,5 +68,107 @@ inline void append_string(std::vector<std::uint8_t>& out, const std::string& s) 
   append_u32(out, static_cast<std::uint32_t>(s.size()));
   out.insert(out.end(), s.begin(), s.end());
 }
+
+/// Thrown by Reader on any out-of-bounds or over-limit decode. Catching this
+/// (and only this) at a decode boundary distinguishes "the bytes are
+/// corrupt/malicious" from programmer errors.
+class SerdeError : public std::runtime_error {
+ public:
+  explicit SerdeError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Bounds-checked sequential decoder over a borrowed byte span. Every read
+/// verifies the remaining length first and throws SerdeError instead of
+/// reading past the end; length-prefixed fields take an explicit cap so a
+/// corrupt length can never drive an allocation. The span is *borrowed*:
+/// the Reader must not outlive the bytes it was built over.
+class Reader {
+ public:
+  explicit Reader(std::span<const std::uint8_t> data) : data_(data) {}
+  Reader(const std::uint8_t* data, std::size_t size) : data_(data, size) {}
+
+  [[nodiscard]] std::size_t remaining() const noexcept {
+    return data_.size() - pos_;
+  }
+  [[nodiscard]] bool done() const noexcept { return pos_ == data_.size(); }
+
+  std::uint8_t u8() { return *need(1); }
+  std::uint16_t u16() { return get_u16(need(2)); }
+  std::uint32_t u32() { return get_u32(need(4)); }
+  std::uint64_t u64() { return get_u64(need(8)); }
+  double f64() {
+    const std::uint64_t bits = u64();
+    double v;
+    std::memcpy(&v, &bits, sizeof v);
+    return v;
+  }
+
+  /// u32 length prefix + raw bytes; lengths above `max_len` throw before any
+  /// allocation happens.
+  std::string string(std::size_t max_len) {
+    const std::uint32_t n = u32();
+    if (n > max_len) throw SerdeError("serde: string length over cap");
+    const std::uint8_t* p = need(n);
+    return {reinterpret_cast<const char*>(p), n};
+  }
+
+  /// Borrow `n` raw bytes (no copy); throws if fewer remain.
+  std::span<const std::uint8_t> bytes(std::size_t n) { return {need(n), n}; }
+
+  /// A u32 element count with a sanity cap — callers size their loops (not
+  /// their allocations!) from this.
+  std::uint32_t count(std::uint32_t max_count) {
+    const std::uint32_t n = u32();
+    if (n > max_count) throw SerdeError("serde: element count over cap");
+    return n;
+  }
+
+  void skip(std::size_t n) { need(n); }
+
+ private:
+  const std::uint8_t* need(std::size_t n) {
+    if (n > remaining()) throw SerdeError("serde: read past end of buffer");
+    const std::uint8_t* p = data_.data() + pos_;
+    pos_ += n;
+    return p;
+  }
+
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+};
+
+/// Append-only encoder mirroring Reader's field formats.
+class Writer {
+ public:
+  Writer() = default;
+
+  void u8(std::uint8_t v) { out_.push_back(v); }
+  void u16(std::uint16_t v) {
+    const std::size_t n = out_.size();
+    out_.resize(n + 2);
+    put_u16(out_.data() + n, v);
+  }
+  void u32(std::uint32_t v) { append_u32(out_, v); }
+  void u64(std::uint64_t v) { append_u64(out_, v); }
+  void f64(double v) {
+    std::uint64_t bits;
+    std::memcpy(&bits, &v, sizeof bits);
+    u64(bits);
+  }
+  void string(const std::string& s) { append_string(out_, s); }
+  void bytes(std::span<const std::uint8_t> b) {
+    out_.insert(out_.end(), b.begin(), b.end());
+  }
+
+  [[nodiscard]] const std::vector<std::uint8_t>& data() const noexcept {
+    return out_;
+  }
+  [[nodiscard]] std::vector<std::uint8_t> take() noexcept {
+    return std::move(out_);
+  }
+
+ private:
+  std::vector<std::uint8_t> out_;
+};
 
 }  // namespace backlog::util

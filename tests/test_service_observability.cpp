@@ -336,12 +336,16 @@ TEST(Observability, MetricsPollerComputesWindowedRates) {
   const std::uint64_t t0 = butil::now_micros();
   const bsvc::RateSample primed = poller.poll_once(t0);
   EXPECT_EQ(primed.update_ops_per_sec, 0.0);  // first poll primes the window
+  // The priming sample says so: its zeros mean "no previous poll", not
+  // "idle", and consumers (metrics --watch) label it instead of printing it.
+  EXPECT_FALSE(primed.primed);
 
   for (int i = 0; i < 10; ++i) vm.apply("alice", batch_of(i * 100, 50)).get();
   vm.query("alice", 0).get();
 
   // Deterministic window: exactly one second after the prime.
   const bsvc::RateSample s = poller.poll_once(t0 + 1'000'000);
+  EXPECT_TRUE(s.primed);  // a real window: differences are meaningful now
   EXPECT_DOUBLE_EQ(s.window_seconds, 1.0);
   EXPECT_DOUBLE_EQ(s.update_ops_per_sec, 500.0);
   EXPECT_DOUBLE_EQ(s.queries_per_sec, 1.0);

@@ -235,3 +235,61 @@ TEST(Serde, LittleEndianRoundTrip) {
   bu::put_u16(buf, 0xbeefu);
   EXPECT_EQ(bu::get_u16(buf), 0xbeefu);
 }
+
+// --- bounds-checked Reader/Writer (the only decode path for untrusted bytes) --
+
+TEST(Serde, WriterReaderRoundTrip) {
+  bu::Writer w;
+  w.u8(7);
+  w.u16(0xbeef);
+  w.u32(0xa1b2c3d4u);
+  w.u64(0x1122334455667788ULL);
+  w.f64(2.5);
+  w.string("hello");
+  const std::vector<std::uint8_t> raw = {9, 8, 7};
+  w.bytes(raw);
+
+  bu::Reader r(w.data());
+  EXPECT_EQ(r.u8(), 7);
+  EXPECT_EQ(r.u16(), 0xbeef);
+  EXPECT_EQ(r.u32(), 0xa1b2c3d4u);
+  EXPECT_EQ(r.u64(), 0x1122334455667788ULL);
+  EXPECT_EQ(r.f64(), 2.5);
+  EXPECT_EQ(r.string(16), "hello");
+  const auto b = r.bytes(3);
+  EXPECT_EQ(std::vector<std::uint8_t>(b.begin(), b.end()), raw);
+  EXPECT_EQ(r.remaining(), 0u);
+}
+
+TEST(Serde, ReaderThrowsOnOverrun) {
+  bu::Writer w;
+  w.u32(1);
+  bu::Reader r(w.data());
+  r.u16();
+  EXPECT_THROW(r.u32(), bu::SerdeError);  // only 2 bytes left
+  bu::Reader r2(w.data());
+  EXPECT_THROW(r2.bytes(5), bu::SerdeError);
+  bu::Reader r3(w.data());
+  EXPECT_THROW(r3.skip(5), bu::SerdeError);
+}
+
+TEST(Serde, ReaderStringAndCountCapsBeforeAllocation) {
+  // A hostile length prefix must be rejected by the declared cap, never
+  // reach an allocation or a read past the buffer.
+  bu::Writer w;
+  w.string("abcdef");
+  bu::Reader r(w.data());
+  EXPECT_THROW(r.string(3), bu::SerdeError);  // 6 > cap 3
+
+  bu::Writer w2;
+  w2.u32(0xffffffffu);  // count prefix claiming 4 billion elements
+  bu::Reader r2(w2.data());
+  EXPECT_THROW(r2.count(1024), bu::SerdeError);
+
+  // A length prefix larger than the remaining bytes is equally fatal even
+  // when under the cap.
+  bu::Writer w3;
+  w3.u32(100);  // string length 100, but no bytes follow
+  bu::Reader r3(w3.data());
+  EXPECT_THROW(r3.string(1 << 20), bu::SerdeError);
+}

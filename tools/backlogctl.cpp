@@ -71,6 +71,20 @@
 //                                          default 1); dumps the newest
 //                                          sampled spans and the slow-op
 //                                          log (ops slower than --slow-us)
+//   backlogctl --connect host:port <cmd> [args]
+//                                          run any subcommand against a live
+//                                          backlogd over the wire protocol.
+//                                          Volume commands (info/runs/query/
+//                                          raw/scan/maintain/dump-run) take
+//                                          the *tenant name* where the local
+//                                          form takes a directory; service
+//                                          commands keep their <root>
+//                                          positional for symmetry but
+//                                          operate on the daemon's root.
+//                                          Reports are rendered server-side
+//                                          through the same code as the
+//                                          local path (src/net/render.hpp),
+//                                          so the output is byte-identical.
 //
 // Malformed invocations (wrong arity, non-numeric or out-of-range
 // arguments) print usage and exit 2; runtime failures exit 1.
@@ -98,6 +112,8 @@
 #include "core/backlog_db.hpp"
 #include "fsim/multi_tenant.hpp"
 #include "lsm/run_file.hpp"
+#include "net/client.hpp"
+#include "net/render.hpp"
 #include "service/service.hpp"
 #include "storage/env.hpp"
 
@@ -125,7 +141,9 @@ int usage() {
                "       backlogctl metrics <root> [shards] [--prom|--json] "
                "[--watch N]\n"
                "       backlogctl trace <root> <tenants> <ops> [shards] "
-               "[--sample N] [--slow-us N]\n");
+               "[--sample N] [--slow-us N]\n"
+               "       backlogctl --connect host:port <cmd> [args]   (volume "
+               "commands take the tenant name)\n");
   return 2;
 }
 
@@ -153,115 +171,47 @@ service::ServiceOptions service_options(const char* root, std::size_t shards) {
   return so;
 }
 
-void print_entry(const core::BackrefEntry& e) {
-  std::printf("  %s versions:", core::to_string(e.rec).c_str());
-  for (const core::Epoch v : e.versions) std::printf(" %" PRIu64, v);
-  std::printf("\n");
-}
+// The inspection reports are rendered through src/net/render.hpp — the same
+// functions the network server uses for the *_text verbs — so local and
+// --connect output stay byte-identical by construction.
 
 int cmd_info(storage::Env& env) {
   core::BacklogDb db(env);
-  const auto s = db.stats();
-  std::printf("volume:            %s\n", env.root().c_str());
-  std::printf("current CP:        %" PRIu64 "\n", db.current_cp());
-  std::printf("partitions:        %" PRIu64 "\n", s.partitions);
-  std::printf("runs:              %" PRIu64 " From, %" PRIu64 " To, %" PRIu64
-              " Combined\n", s.from_runs, s.to_runs, s.combined_runs);
-  std::printf("run records:       %" PRIu64 "\n", s.run_records);
-  std::printf("db bytes:          %" PRIu64 " (%.2f MB)\n", s.db_bytes,
-              s.db_bytes / (1024.0 * 1024.0));
-  std::printf("deletion vectors:  %" PRIu64 " entries\n", s.dv_entries);
-  const auto& reg = db.registry();
-  std::printf("zombie snapshots:  %zu\n", reg.zombie_count());
-  for (const core::LineId line : reg.lines()) {
-    std::printf("line %" PRIu64 ": %s", line,
-                reg.line_live(line) ? "live" : "dead");
-    if (const auto parent = reg.parent_of(line)) {
-      std::printf(", cloned from (line %" PRIu64 ", v%" PRIu64 ")",
-                  parent->parent, parent->branch_version);
-    }
-    std::printf(", snapshots:");
-    for (const core::Epoch v : reg.snapshots(line)) std::printf(" %" PRIu64, v);
-    std::printf("\n");
-  }
+  std::fputs(net::render_info(db, env.root()).c_str(), stdout);
   return 0;
 }
 
 int cmd_runs(storage::Env& env) {
-  core::BacklogDb db(env);
-  std::printf("%-26s %10s %14s\n", "file", "records", "bytes");
-  storage::PageCache cache(64);
-  for (const std::string& name : env.list_files()) {
-    if (!name.ends_with(".run")) continue;
-    lsm::RunFile run(env, name, cache);
-    std::printf("%-26s %10" PRIu64 " %14" PRIu64, name.c_str(),
-                run.record_count(), run.size_bytes());
-    if (const auto mn = run.min_record()) {
-      std::printf("   blocks [%" PRIu64 ", %" PRIu64 "]",
-                  util::get_be64(mn->data()),
-                  util::get_be64(run.max_record()->data()));
-    }
-    std::printf("\n");
-  }
+  core::BacklogDb db(env);  // opening replays the manifest first
+  std::fputs(net::render_runs(env).c_str(), stdout);
   return 0;
 }
 
 int cmd_query(storage::Env& env, core::BlockNo block, std::uint64_t count,
               bool raw) {
   core::BacklogDb db(env);
-  if (raw) {
-    for (const auto& r : db.query_raw(block, count)) {
-      std::printf("  %s\n", core::to_string(r).c_str());
-    }
-  } else {
-    for (const auto& e : db.query(block, count)) print_entry(e);
-  }
+  const std::string out = raw
+      ? net::render_records(db.query_raw(block, count), /*indent=*/true)
+      : net::render_query(db.query(block, count));
+  std::fputs(out.c_str(), stdout);
   return 0;
 }
 
 int cmd_scan(storage::Env& env) {
   core::BacklogDb db(env);
-  for (const auto& r : db.scan_all()) {
-    std::printf("%s\n", core::to_string(r).c_str());
-  }
+  std::fputs(net::render_records(db.scan_all(), /*indent=*/false).c_str(),
+             stdout);
   return 0;
 }
 
 int cmd_maintain(storage::Env& env) {
   core::BacklogDb db(env);
-  const auto m = db.maintain();
-  std::printf("input records:   %" PRIu64 "\n", m.input_records);
-  std::printf("complete out:    %" PRIu64 "\n", m.output_complete);
-  std::printf("incomplete out:  %" PRIu64 "\n", m.output_incomplete);
-  std::printf("purged:          %" PRIu64 "\n", m.purged);
-  std::printf("bytes:           %" PRIu64 " -> %" PRIu64 "\n", m.bytes_before,
-              m.bytes_after);
-  std::printf("io:              %" PRIu64 " reads, %" PRIu64 " writes\n",
-              m.pages_read, m.pages_written);
-  std::printf("wall time:       %.3f s\n", m.wall_micros / 1e6);
+  std::fputs(net::render_maintenance(db.maintain()).c_str(), stdout);
   return 0;
 }
 
 int cmd_dump_run(storage::Env& env, const std::string& file) {
-  storage::PageCache cache(256);
-  lsm::RunFile run(env, file, cache);
-  const char kind = file.empty() ? '?' : file[0];
-  auto stream = run.scan();
-  while (stream->valid()) {
-    const auto rec = stream->record();
-    if (kind == 'c' && rec.size() == core::kCombinedRecordSize) {
-      std::printf("%s\n", core::to_string(core::decode_combined(rec.data())).c_str());
-    } else if (kind == 'f' && rec.size() == core::kFromRecordSize) {
-      const auto r = core::decode_from(rec.data());
-      std::printf("%s from=%" PRIu64 "\n", core::to_string(r.key).c_str(), r.from);
-    } else if (kind == 't' && rec.size() == core::kToRecordSize) {
-      const auto r = core::decode_to(rec.data());
-      std::printf("%s to=%" PRIu64 "\n", core::to_string(r.key).c_str(), r.to);
-    } else {
-      std::printf("(%zu raw bytes)\n", rec.size());
-    }
-    stream->next();
-  }
+  std::fputs(net::render_dump_run(env, file).c_str(), stdout);
   return 0;
 }
 
@@ -539,31 +489,6 @@ int cmd_balance(const char* root, std::size_t shards, std::uint64_t cycles) {
   return 0;
 }
 
-/// One tenant object of the `stats --json` output (the caller prints the
-/// key). Latencies are the log2 histogram's conservative percentiles (see
-/// LatencyHistogram).
-void print_tenant_json(const service::TenantStats& ts) {
-  std::printf(
-      "{\"shard\":%zu,\"updates\":%" PRIu64 ",\"batches\":%" PRIu64
-      ",\"cps\":%" PRIu64 ",\"queries\":%" PRIu64 ",\"snapshots\":%" PRIu64
-      ",\"clones\":%" PRIu64 ",\"migrations\":%" PRIu64
-      ",\"maintenance_runs\":%" PRIu64 ",\"maintenance_skipped\":%" PRIu64
-      ",\"throttle_queued\":%" PRIu64 ",\"throttle_rejected\":%" PRIu64
-      ",\"owned_bytes\":%" PRIu64 ",\"shared_bytes\":%" PRIu64
-      ",\"update_batch_p50_us\":%" PRIu64 ",\"update_batch_p99_us\":%" PRIu64
-      ",\"query_p50_us\":%" PRIu64 ",\"query_p99_us\":%" PRIu64
-      ",\"queue_wait_p99_us\":%" PRIu64 ",\"io\":{\"page_reads\":%" PRIu64
-      ",\"page_writes\":%" PRIu64 ",\"bytes_read\":%" PRIu64
-      ",\"bytes_written\":%" PRIu64 ",\"fsyncs\":%" PRIu64 "}}",
-      ts.shard, ts.updates, ts.batches, ts.cps, ts.queries, ts.snapshots,
-      ts.clones, ts.migrations, ts.maintenance_runs, ts.maintenance_skipped,
-      ts.throttle_queued, ts.throttle_rejected, ts.owned_bytes,
-      ts.shared_bytes, ts.update_batch_micros.p50(),
-      ts.update_batch_micros.p99(), ts.query_micros.p50(),
-      ts.query_micros.p99(), ts.queue_wait_micros.p99(), ts.io.page_reads,
-      ts.io.page_writes, ts.io.bytes_read, ts.io.bytes_written, ts.io.fsyncs);
-}
-
 int cmd_stats(const char* root, std::size_t shards, bool json) {
   const std::vector<std::string> tenants = discover_tenants(root);
   if (tenants.empty()) {
@@ -572,38 +497,28 @@ int cmd_stats(const char* root, std::size_t shards, bool json) {
   }
   service::VolumeManager vm(service_options(root, shards));
   for (const auto& t : tenants) vm.open_volume(t);
-  const service::ServiceStats stats = vm.stats();
-
-  if (json) {
-    std::printf("{\"tenants\":{");
-    bool first = true;
-    for (const auto& [name, ts] : stats.tenants) {
-      if (!first) std::printf(",");
-      first = false;
-      std::printf("\"%s\":", name.c_str());
-      print_tenant_json(ts);
-    }
-    std::printf("},\"total\":");
-    print_tenant_json(stats.total);
-    std::printf("}\n");
-  } else {
-    std::printf("%-20s %6s %10s %8s %8s %10s %12s %8s\n", "tenant", "shard",
-                "updates", "cps", "queries", "maint", "page_writes", "fsyncs");
-    for (const auto& [name, ts] : stats.tenants) {
-      std::printf("%-20s %6zu %10" PRIu64 " %8" PRIu64 " %8" PRIu64
-                  " %10" PRIu64 " %12" PRIu64 " %8" PRIu64 "\n",
-                  name.c_str(), ts.shard, ts.updates, ts.cps, ts.queries,
-                  ts.maintenance_runs, ts.io.page_writes, ts.io.fsyncs);
-    }
-    const auto& t = stats.total;
-    std::printf("total: %" PRIu64 " updates, %" PRIu64 " cps, %" PRIu64
-                " queries; query p50/p99 %" PRIu64 "/%" PRIu64
-                " us, queue wait p99 %" PRIu64 " us\n",
-                t.updates, t.cps, t.queries, t.query_micros.p50(),
-                t.query_micros.p99(), t.queue_wait_micros.p99());
-  }
+  std::fputs(net::render_stats(vm.stats(), json).c_str(), stdout);
   for (const auto& t : tenants) vm.close_volume(t);
   return 0;
+}
+
+/// One `metrics --watch` rate line. A sample with primed=false has no
+/// previous poll to difference against — its zeros are "unknown", not
+/// "idle" — so it is labeled instead of printed as rates (used by both the
+/// local watch loop and the --connect one, where the daemon's poller really
+/// can be unprimed).
+void print_rate_window(const service::RateSample& s) {
+  if (!s.primed) {
+    std::printf("window %.3fs: priming (no previous sample yet)\n",
+                s.window_seconds);
+    return;
+  }
+  double busy = 0;
+  for (const double b : s.shard_busy_fraction) busy = std::max(busy, b);
+  std::printf("window %.3fs: %.0f update ops/s, %.0f queries/s, "
+              "%.0f throttles/s, max shard busy %.1f%%\n",
+              s.window_seconds, s.update_ops_per_sec, s.queries_per_sec,
+              s.throttles_per_sec, 100.0 * busy);
 }
 
 int cmd_metrics(const char* root, std::size_t shards, bool json,
@@ -645,14 +560,7 @@ int cmd_metrics(const char* root, std::size_t shards, bool json,
     pulse();
     std::this_thread::sleep_for(std::chrono::milliseconds(50));
     const service::RateSample s = poller.poll_once();
-    if (watch > 0) {
-      double busy = 0;
-      for (const double b : s.shard_busy_fraction) busy = std::max(busy, b);
-      std::printf("window %.3fs: %.0f update ops/s, %.0f queries/s, "
-                  "%.0f throttles/s, max shard busy %.1f%%\n",
-                  s.window_seconds, s.update_ops_per_sec, s.queries_per_sec,
-                  s.throttles_per_sec, 100.0 * busy);
-    }
+    if (watch > 0) print_rate_window(s);
   }
 
   const std::string out =
@@ -689,21 +597,9 @@ int cmd_trace(const char* dir, std::uint64_t tenants, std::uint64_t total_ops,
   ro.query_every_ops = 64;
   fsim::replay_concurrently(vm, workloads, ro);
 
-  const std::vector<service::TraceSpan> spans = vm.trace_spans();
-  const std::vector<service::TraceSpan> slow = vm.slow_ops();
-  constexpr std::size_t kDumpCap = 64;
-  const std::size_t from = spans.size() > kDumpCap ? spans.size() - kDumpCap : 0;
-  std::printf("sampled spans: %zu recorded (1 in %" PRIu64
-              "), showing newest %zu\n",
-              spans.size(), sample, spans.size() - from);
-  for (std::size_t i = from; i < spans.size(); ++i) {
-    std::printf("%s\n", service::format_span(spans[i]).c_str());
-  }
-  std::printf("slow-op log (>= %" PRIu64 " us): %zu entries\n", slow_us,
-              slow.size());
-  for (const auto& s : slow) {
-    std::printf("%s\n", service::format_span(s).c_str());
-  }
+  std::fputs(net::render_trace(vm.trace_spans(), vm.slow_ops(), sample,
+                               slow_us).c_str(),
+             stdout);
   for (const auto& name : vm.tenants()) vm.close_volume(name);
   return 0;
 }
@@ -732,10 +628,492 @@ int cmd_migrate(const char* root, const std::string& tenant,
   return 0;
 }
 
+// ---------------------------------------------------------------------------
+// Remote mode (`--connect host:port`). Same subcommands, same arity checks,
+// same output — but every operation is a wire round trip to a backlogd.
+// Reports come back pre-rendered (the server runs the same render.hpp
+// functions the local path uses); the driving commands (stress, qos,
+// metrics, trace) generate their load client-side and push it through the
+// typed batch verbs, which is exactly what makes them a loopback/network
+// exercise of the data plane.
+// ---------------------------------------------------------------------------
+
+std::string stress_tenant_name(std::uint64_t i) {
+  char name[32];
+  std::snprintf(name, sizeof name, "tenant-%03llu",
+                static_cast<unsigned long long>(i));
+  return name;
+}
+
+int rcmd_stress(const std::string& host, std::uint16_t port,
+                std::uint64_t tenants, std::uint64_t total_ops,
+                std::uint64_t batch) {
+  // The wire data plane only speaks apply_batch; --batch sizes the chunks
+  // (default 64 — a per-op round trip would measure nothing but latency).
+  const std::uint64_t chunk =
+      std::min<std::uint64_t>(batch == 0 ? 64 : batch, net::wire::kMaxBatchOps);
+  const std::uint64_t per_tenant =
+      std::max<std::uint64_t>(1, total_ops / tenants);
+
+  std::vector<std::thread> threads;
+  std::vector<std::uint64_t> ops_done(tenants, 0);
+  std::vector<std::string> errors(tenants);
+  const auto t0 = std::chrono::steady_clock::now();
+  for (std::uint64_t i = 0; i < tenants; ++i) {
+    threads.emplace_back([&, i] {
+      try {
+        net::Client c;  // one connection per tenant thread (Client is not
+        c.connect(host, port);  // thread-safe by design)
+        const std::string name = stress_tenant_name(i);
+        c.open_volume(name);
+        fsim::TenantTraceOptions to;
+        to.block_ops = per_tenant;
+        to.seed = 42 + i;
+        const fsim::TenantTrace trace = fsim::synthesize_tenant_trace(to);
+        std::vector<service::UpdateOp> pending;
+        pending.reserve(chunk);
+        std::uint64_t since_query = 0;
+        for (const auto& op : trace.ops) {
+          pending.push_back(op);
+          if (pending.size() < chunk) continue;
+          c.apply_batch(name, pending);
+          ops_done[i] += pending.size();
+          since_query += pending.size();
+          pending.clear();
+          if (since_query >= 64) {
+            since_query = 0;
+            service::QueryRange qr;
+            qr.first = op.key.block;
+            qr.count = 8;
+            c.query_batch(name, {qr});
+          }
+        }
+        if (!pending.empty()) {
+          c.apply_batch(name, pending);
+          ops_done[i] += pending.size();
+        }
+        c.consistency_point(name);
+      } catch (const std::exception& e) {
+        errors[i] = e.what();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  for (std::uint64_t i = 0; i < tenants; ++i) {
+    if (!errors[i].empty()) {
+      std::fprintf(stderr, "backlogctl: %s: %s\n",
+                   stress_tenant_name(i).c_str(), errors[i].c_str());
+      return 1;
+    }
+  }
+  std::uint64_t ops = 0;
+  for (const std::uint64_t n : ops_done) ops += n;
+  std::printf("remote:            %s:%u\n", host.c_str(), port);
+  std::printf("tenants:           %llu (one connection each)\n",
+              static_cast<unsigned long long>(tenants));
+  std::printf("update verb:       apply_batch over TCP (%llu-op chunks)\n",
+              static_cast<unsigned long long>(chunk));
+  std::printf("block ops:         %" PRIu64 " in %.2f s (%.0f ops/s)\n", ops,
+              wall, wall > 0 ? ops / wall : 0.0);
+  net::Client c;
+  c.connect(host, port);
+  std::fputs(c.stats_text(false).c_str(), stdout);
+  return 0;
+}
+
+int rcmd_qos(net::Client& c, const std::string& tenant,
+             std::uint64_t ops_per_sec, std::uint64_t bytes_per_sec,
+             std::uint64_t ops) {
+  c.open_volume(tenant);
+  service::TenantQos qos;
+  qos.ops_per_sec = ops_per_sec == 0 ? service::kUnlimitedRate
+                                     : static_cast<double>(ops_per_sec);
+  qos.bytes_per_sec = bytes_per_sec == 0 ? service::kUnlimitedRate
+                                         : static_cast<double>(bytes_per_sec);
+  qos.burst_ops = 256;
+  qos.burst_bytes = 1 << 20;
+  qos.max_wait_queue = 1 << 16;
+  c.set_qos(tenant, qos);
+  std::printf("qos on %s: %s ops/s, %s bytes/s (burst %g ops / %g bytes)\n",
+              tenant.c_str(),
+              ops_per_sec == 0 ? "unlimited" : std::to_string(ops_per_sec).c_str(),
+              bytes_per_sec == 0 ? "unlimited" : std::to_string(bytes_per_sec).c_str(),
+              qos.burst_ops, qos.burst_bytes);
+
+  // One op per request, synchronously: a throttled op comes back as a
+  // kThrottled ServiceError exactly like the in-process future would throw.
+  const auto t0 = std::chrono::steady_clock::now();
+  std::uint64_t rejected = 0;
+  for (std::uint64_t i = 0; i < ops; ++i) {
+    service::UpdateOp op;
+    op.kind = service::UpdateOp::Kind::kAdd;
+    op.key.block = 1 + i;
+    op.key.inode = 2;
+    op.key.length = 1;
+    try {
+      c.apply_batch(tenant, {op});
+    } catch (const service::ServiceError& e) {
+      if (e.code() != service::ErrorCode::kThrottled) throw;
+      ++rejected;
+    }
+  }
+  c.consistency_point(tenant);
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+
+  const service::QosSnapshot snap = c.qos_snapshot(tenant);
+  std::printf("drove %" PRIu64 " ops in %.2f s (%.0f ops/s effective)\n", ops,
+              wall, wall > 0 ? static_cast<double>(ops - rejected) / wall : 0);
+  std::printf("admission: %" PRIu64 " direct, %" PRIu64 " waited, %" PRIu64
+              " released, %" PRIu64 " rejected (kThrottled)\n",
+              snap.admitted, snap.queued, snap.released, snap.rejected);
+  return 0;
+}
+
+int rcmd_metrics(net::Client& c, const std::string& host, std::uint16_t port,
+                 bool json, std::uint64_t watch) {
+  const std::vector<std::string> tenants = c.list_tenants();
+  if (tenants.empty()) {
+    std::fprintf(stderr, "backlogctl: no volumes hosted by %s:%u\n",
+                 host.c_str(), port);
+    return 1;
+  }
+  // Same annihilating pulse as the local command, shipped as one batch per
+  // tenant (adds + removes cancel in the write store).
+  core::BlockNo probe = 1ull << 40;
+  const auto pulse = [&] {
+    for (const auto& t : tenants) {
+      std::vector<service::UpdateOp> batch;
+      batch.reserve(32);
+      for (int i = 0; i < 16; ++i) {
+        service::UpdateOp a;
+        a.kind = service::UpdateOp::Kind::kAdd;
+        a.key.block = probe++;
+        a.key.inode = 2;
+        a.key.length = 1;
+        service::UpdateOp r = a;
+        r.kind = service::UpdateOp::Kind::kRemove;
+        batch.push_back(a);
+        batch.push_back(r);
+      }
+      c.apply_batch(t, batch);
+    }
+  };
+  pulse();
+  // The daemon's poller may never have been polled: the priming sample
+  // carries primed=false and is labeled, not misread as an idle service.
+  const service::RateSample first = c.poll_rates();
+  if (!first.primed && watch > 0) {
+    std::printf("window %.3fs: priming (no previous sample yet)\n",
+                first.window_seconds);
+  }
+  for (std::uint64_t w = 0; w < std::max<std::uint64_t>(1, watch); ++w) {
+    pulse();
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    const service::RateSample s = c.poll_rates();
+    if (watch > 0) print_rate_window(s);
+  }
+  std::fputs(c.metrics_text(json).c_str(), stdout);
+  return 0;
+}
+
+int rcmd_trace(const std::string& host, std::uint16_t port,
+               std::uint64_t tenants, std::uint64_t total_ops,
+               std::uint64_t sample, std::uint64_t slow_us) {
+  net::Client c;
+  c.connect(host, port);
+  c.set_tracing(static_cast<std::uint32_t>(sample), slow_us);
+  const std::uint64_t per_tenant =
+      std::max<std::uint64_t>(1, total_ops / tenants);
+  for (std::uint64_t i = 0; i < tenants; ++i) {
+    const std::string name = stress_tenant_name(i);
+    c.open_volume(name);
+    fsim::TenantTraceOptions to;
+    to.block_ops = per_tenant;
+    to.seed = 42 + i;
+    const fsim::TenantTrace trace = fsim::synthesize_tenant_trace(to);
+    std::vector<service::UpdateOp> pending;
+    for (const auto& op : trace.ops) {
+      pending.push_back(op);
+      if (pending.size() < 64) continue;
+      c.apply_batch(name, pending);
+      pending.clear();
+      service::QueryRange qr;
+      qr.first = op.key.block;
+      qr.count = 8;
+      c.query_batch(name, {qr});
+    }
+    if (!pending.empty()) c.apply_batch(name, pending);
+  }
+  std::fputs(c.trace_text(sample, slow_us).c_str(), stdout);
+  return 0;
+}
+
+/// `--connect` dispatch: argv is shifted so argv[1] is the subcommand and
+/// positionals line up with the local layout. Every argument is validated
+/// with the local rules *before* a byte hits the network — a malformed
+/// remote invocation exits 2 without connecting.
+int remote_main(const std::string& host, std::uint16_t port, int argc,
+                char** argv) {
+  if (argc < 3) return usage();
+  const std::string cmd = argv[1];
+  try {
+    if (cmd == "stress") {
+      std::uint64_t batch = 0;
+      int end = argc;
+      if (argc >= 7 && std::strcmp(argv[argc - 2], "--batch") == 0) {
+        if (!parse_u64(argv[argc - 1], batch, 1, 1 << 20)) return usage();
+        end = argc - 2;
+      }
+      std::uint64_t tenants = 0, ops = 0, shards = 4;
+      if (end < 5 || end > 6 || !parse_u64(argv[3], tenants, 1, 1 << 16) ||
+          !parse_u64(argv[4], ops, 1) ||
+          (end > 5 && !parse_u64(argv[5], shards, 1, 1024))) {
+        return usage();
+      }
+      (void)shards;  // the daemon's shard count applies remotely
+      return rcmd_stress(host, port, tenants, ops, batch);
+    }
+    if (cmd == "snap") {
+      std::uint64_t line = 0;
+      if (argc < 4 || argc > 5 || (argc > 4 && !parse_u64(argv[4], line)))
+        return usage();
+      net::Client c;
+      c.connect(host, port);
+      c.open_volume(argv[3]);
+      const core::Epoch version = c.take_snapshot(argv[3], line);
+      std::printf("retained snapshot (line %" PRIu64 ", v%" PRIu64 ") of %s\n",
+                  line, version, argv[3]);
+      return 0;
+    }
+    if (cmd == "clone") {
+      std::uint64_t line = 0, version = 0;
+      if (argc < 5 || argc > 7 || (argc > 5 && !parse_u64(argv[5], line)) ||
+          (argc > 6 && !parse_u64(argv[6], version))) {
+        return usage();
+      }
+      const std::string src = argv[3], dst = argv[4];
+      net::Client c;
+      c.connect(host, port);
+      c.open_volume(src);
+      if (version == 0) {  // default: the latest retained snapshot
+        const auto versions = c.list_versions(src, line);
+        if (versions.empty()) {
+          std::fprintf(stderr,
+                       "backlogctl: %s line %" PRIu64
+                       " has no retained snapshot (run `backlogctl snap` "
+                       "first)\n",
+                       src.c_str(), line);
+          return 1;
+        }
+        version = versions.back();
+      }
+      const auto res = c.clone_volume(src, dst, line, version);
+      std::printf("cloned %s snapshot (line %" PRIu64 ", v%" PRIu64
+                  ") -> tenant %s, writable line %" PRIu64 "\n",
+                  src.c_str(), line, version, dst.c_str(), res.new_line);
+      std::printf("copy-on-write: %" PRIu64 " shared files, %" PRIu64
+                  " shared bytes (%.2f MB stored once instead of per clone)\n",
+                  res.shared_files, res.shared_bytes,
+                  res.saved_bytes / (1024.0 * 1024.0));
+      return 0;
+    }
+    if (cmd == "destroy") {
+      std::uint64_t shards = 1;
+      if (argc < 4 || argc > 5 ||
+          (argc > 4 && !parse_u64(argv[4], shards, 1, 1024))) {
+        return usage();
+      }
+      net::Client c;
+      c.connect(host, port);
+      try {
+        c.destroy_volume(argv[3]);
+      } catch (const service::ServiceError& e) {
+        if (e.code() == service::ErrorCode::kNoSuchTenant) {
+          std::fprintf(stderr, "backlogctl: no volume '%s' hosted by %s:%u\n",
+                       argv[3], host.c_str(), port);
+          return 1;
+        }
+        throw;
+      }
+      std::printf("destroyed %s\n", argv[3]);
+      return 0;
+    }
+    if (cmd == "migrate") {
+      std::uint64_t target = 0, shards = 4;
+      if (argc < 5 || argc > 6 || !parse_u64(argv[4], target) ||
+          (argc > 5 && !parse_u64(argv[5], shards, 1, 1024))) {
+        return usage();
+      }
+      // target-vs-shard-count is the daemon's call (its shard count rules);
+      // out of range comes back as kBadRequest.
+      (void)shards;
+      const std::string tenant = argv[3];
+      net::Client c;
+      c.connect(host, port);
+      c.open_volume(tenant);
+      const core::QuickStats before = c.quick_stats(tenant);
+      const service::MigrationStats ms = c.migrate_volume(tenant, target);
+      if (!ms.moved) {
+        std::printf("%s already lives on shard %zu — nothing to do\n",
+                    tenant.c_str(), ms.source_shard);
+      } else {
+        std::printf(
+            "migrated %s: shard %zu -> %zu (%s, %zu racing ops replayed)\n",
+            tenant.c_str(), ms.source_shard, ms.target_shard,
+            ms.forced_cp ? "flushed a consistency point" : "write store empty",
+            ms.replayed_tasks);
+      }
+      const core::QuickStats after = c.quick_stats(tenant);
+      std::printf("write store: %" PRIu64 " -> %" PRIu64
+                  " entries, run records: %" PRIu64 " -> %" PRIu64 "\n",
+                  before.ws_entries, after.ws_entries, before.run_records,
+                  after.run_records);
+      return 0;
+    }
+    if (cmd == "qos") {
+      std::uint64_t ops_rate = 0, bytes_rate = 0, ops = 2000;
+      if (argc < 6 || argc > 7 || !parse_u64(argv[4], ops_rate) ||
+          !parse_u64(argv[5], bytes_rate) ||
+          (argc > 6 && !parse_u64(argv[6], ops, 1))) {
+        return usage();
+      }
+      net::Client c;
+      c.connect(host, port);
+      return rcmd_qos(c, argv[3], ops_rate, bytes_rate, ops);
+    }
+    if (cmd == "balance") {
+      std::uint64_t shards = 0, cycles = 3;
+      if (argc < 4 || argc > 5 || !parse_u64(argv[3], shards, 1, 1024) ||
+          (argc > 4 && !parse_u64(argv[4], cycles, 1, 1 << 20))) {
+        return usage();
+      }
+      net::Client c;  // the cycle runs entirely server-side (kBalanceText)
+      c.connect(host, port);
+      std::fputs(c.balance_text(cycles).c_str(), stdout);
+      return 0;
+    }
+    if (cmd == "stats") {
+      std::uint64_t shards = 1;
+      bool json = false, have_shards = false;
+      for (int i = 3; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--json") == 0 && !json) {
+          json = true;
+        } else if (!have_shards && parse_u64(argv[i], shards, 1, 1024)) {
+          have_shards = true;
+        } else {
+          return usage();
+        }
+      }
+      (void)shards;
+      net::Client c;
+      c.connect(host, port);
+      std::fputs(c.stats_text(json).c_str(), stdout);
+      return 0;
+    }
+    if (cmd == "metrics") {
+      std::uint64_t shards = 1, watch = 0;
+      bool json = false, prom = false, have_shards = false;
+      for (int i = 3; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--json") == 0 && !json && !prom) {
+          json = true;
+        } else if (std::strcmp(argv[i], "--prom") == 0 && !json && !prom) {
+          prom = true;
+        } else if (std::strcmp(argv[i], "--watch") == 0 && watch == 0 &&
+                   i + 1 < argc) {
+          if (!parse_u64(argv[++i], watch, 1, 1 << 20)) return usage();
+        } else if (!have_shards && parse_u64(argv[i], shards, 1, 1024)) {
+          have_shards = true;
+        } else {
+          return usage();
+        }
+      }
+      (void)shards;
+      (void)prom;  // Prometheus exposition is the remote default too
+      net::Client c;
+      c.connect(host, port);
+      return rcmd_metrics(c, host, port, json, watch);
+    }
+    if (cmd == "trace") {
+      std::uint64_t tenants = 0, ops = 0, shards = 2, sample = 1,
+                    slow_us = 1000;
+      if (argc < 5 || !parse_u64(argv[3], tenants, 1, 1 << 16) ||
+          !parse_u64(argv[4], ops, 1)) {
+        return usage();
+      }
+      bool have_shards = false;
+      for (int i = 5; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--sample") == 0 && i + 1 < argc) {
+          if (!parse_u64(argv[++i], sample, 1, 1u << 30)) return usage();
+        } else if (std::strcmp(argv[i], "--slow-us") == 0 && i + 1 < argc) {
+          if (!parse_u64(argv[++i], slow_us, 1)) return usage();
+        } else if (!have_shards && parse_u64(argv[i], shards, 1, 1024)) {
+          have_shards = true;
+        } else {
+          return usage();
+        }
+      }
+      (void)shards;
+      return rcmd_trace(host, port, tenants, ops, sample, slow_us);
+    }
+    const bool known_volume_cmd = cmd == "info" || cmd == "runs" ||
+                                  cmd == "scan" || cmd == "maintain" ||
+                                  cmd == "query" || cmd == "raw" ||
+                                  cmd == "dump-run";
+    if (!known_volume_cmd) return usage();
+    std::uint64_t block = 0, count = 1;
+    if (cmd == "query" || cmd == "raw") {
+      if (argc < 4 || argc > 5 || !parse_u64(argv[3], block) ||
+          (argc > 4 && !parse_u64(argv[4], count, 1))) {
+        return usage();
+      }
+    } else if (cmd == "dump-run") {
+      if (argc != 4) return usage();
+    } else if (argc != 3) {
+      return usage();
+    }
+    const std::string tenant = argv[2];  // where local takes a directory
+    net::Client c;
+    c.connect(host, port);
+    std::string out;
+    if (cmd == "info") {
+      out = c.info_text(tenant);
+    } else if (cmd == "runs") {
+      out = c.runs_text(tenant);
+    } else if (cmd == "scan") {
+      out = c.scan_text(tenant);
+    } else if (cmd == "maintain") {
+      out = c.maintain_text(tenant);
+    } else if (cmd == "query" || cmd == "raw") {
+      out = c.query_text(tenant, block, count, cmd == "raw");
+    } else {
+      out = c.dump_run_text(tenant, argv[3]);
+    }
+    std::fputs(out.c_str(), stdout);
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "backlogctl: %s\n", e.what());
+    return 1;
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 3) return usage();
+  if (std::strcmp(argv[1], "--connect") == 0) {
+    // --connect host:port <cmd> [args] — shift past the flag + spec so the
+    // remote dispatcher sees the same argv layout as the local one.
+    if (argc < 4) return usage();
+    std::string host;
+    std::uint16_t port = 0;
+    if (!net::parse_host_port(argv[2], host, port)) return usage();
+    return remote_main(host, port, argc - 2, argv + 2);
+  }
   const std::string cmd = argv[1];
   // Service-level commands take a service *root* (volumes live underneath).
   // Arity and argument ranges are validated up front: a malformed

@@ -1,0 +1,124 @@
+// backlogd — the Backlog network daemon.
+//
+//   backlogd <root> [--port N] [--bind ADDR] [--shards N] [--io-threads N]
+//
+// Hosts every volume directory under <root> in one VolumeManager and serves
+// the wire protocol (see src/net/frame.hpp) on an epoll server. Port 0 (the
+// default) binds an ephemeral port; the bound address is printed to stdout
+// as soon as the server is accepting —
+//
+//   backlogd: listening on 127.0.0.1:43211
+//
+// — flushed, so a harness can start the daemon, read one line and connect
+// (the CI loopback smoke test does exactly this). SIGINT/SIGTERM shut the
+// daemon down cleanly: stop accepting, close every connection, flush and
+// close every volume.
+//
+// Malformed invocations print usage and exit 2; runtime failures exit 1.
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "net/handlers.hpp"
+#include "service/service.hpp"
+
+using namespace backlog;
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: backlogd <root> [--port N] [--bind ADDR] [--shards N] "
+               "[--io-threads N]\n");
+  return 2;
+}
+
+bool parse_u64(const char* arg, std::uint64_t& out,
+               std::uint64_t min_value = 0,
+               std::uint64_t max_value = UINT64_MAX) {
+  if (arg == nullptr || *arg == '\0' || *arg == '-') return false;
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(arg, &end, 0);
+  if (errno != 0 || end == arg || *end != '\0') return false;
+  if (v < min_value || v > max_value) return false;
+  out = v;
+  return true;
+}
+
+volatile std::sig_atomic_t g_stop = 0;
+void on_signal(int) { g_stop = 1; }
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const char* root = argv[1];
+  std::uint64_t port = 0, shards = 4, io_threads = 2;
+  std::string bind_address = "127.0.0.1";
+  for (int i = 2; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--port") == 0 && i + 1 < argc) {
+      if (!parse_u64(argv[++i], port, 0, 65535)) return usage();
+    } else if (std::strcmp(argv[i], "--bind") == 0 && i + 1 < argc) {
+      bind_address = argv[++i];
+    } else if (std::strcmp(argv[i], "--shards") == 0 && i + 1 < argc) {
+      if (!parse_u64(argv[++i], shards, 1, 1024)) return usage();
+    } else if (std::strcmp(argv[i], "--io-threads") == 0 && i + 1 < argc) {
+      if (!parse_u64(argv[++i], io_threads, 1, 64)) return usage();
+    } else {
+      return usage();
+    }
+  }
+
+  try {
+    service::ServiceOptions so;
+    so.shards = shards;
+    so.root = root;
+    so.sync_writes = true;  // a remote mutation must be durable when acked
+    service::VolumeManager vm(so);
+
+    // Host whatever already lives under the root; remote kOpenVolume adds
+    // more at runtime.
+    std::vector<std::string> tenants;
+    std::filesystem::create_directories(root);
+    for (const auto& e : std::filesystem::directory_iterator(root)) {
+      if (e.is_directory() &&
+          e.path().filename().string().find('.') == std::string::npos) {
+        tenants.push_back(e.path().filename().string());
+      }
+    }
+    for (const auto& t : tenants) vm.open_volume(t);
+
+    net::ServiceEndpoint endpoint(vm);
+    net::ServerOptions opts;
+    opts.bind_address = bind_address;
+    opts.port = static_cast<std::uint16_t>(port);
+    opts.io_threads = io_threads;
+    endpoint.start(opts);
+
+    std::printf("backlogd: listening on %s:%u (%zu volumes, %llu shards)\n",
+                bind_address.c_str(), endpoint.port(), tenants.size(),
+                static_cast<unsigned long long>(shards));
+    std::fflush(stdout);
+
+    struct sigaction sa{};
+    sa.sa_handler = on_signal;
+    ::sigaction(SIGINT, &sa, nullptr);
+    ::sigaction(SIGTERM, &sa, nullptr);
+    sigset_t mask;
+    ::sigemptyset(&mask);
+    while (g_stop == 0) ::sigsuspend(&mask);
+
+    std::fprintf(stderr, "backlogd: shutting down\n");
+    endpoint.stop();
+    for (const auto& t : vm.tenants()) vm.close_volume(t);
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "backlogd: %s\n", e.what());
+    return 1;
+  }
+}

@@ -202,6 +202,57 @@ def check_dispatch_vs_baseline(base_rows, cur_rows, max_ratio=1.2):
     return []
 
 
+def check_net_loopback(rows, min_wire_fraction=0.10, min_batch_speedup=3.0):
+    """Wire-protocol overhead gate on the net_loopback bench of the current
+    run alone (self-skips when the capture has no net_loopback rows). Both
+    properties are ratios of two same-machine measurements, so runner speed
+    cancels out:
+
+      * wire fraction: at the largest matched (connections, batch) config
+        the loopback path must keep at least `min_wire_fraction` of the
+        in-process throughput — framing + crc32c + a loopback round trip
+        may cost a constant factor, never an order of magnitude;
+      * batch speedup: on the wire, batch=256 must beat batch=1 by at least
+        `min_batch_speedup` at 1 connection — the whole point of batched
+        verbs is amortizing the per-frame round trip."""
+    net = [r for r in rows if r.get("bench") == "net_loopback"]
+    failures = []
+    if not net:
+        return failures
+    by_cfg = {(r.get("mode"), r.get("connections"), r.get("batch")): r
+              for r in net}
+
+    matched = [(c, b) for (m, c, b) in by_cfg if m == "loopback"
+               and ("inprocess", c, b) in by_cfg]
+    if matched:
+        conns, batch = max(matched, key=lambda cb: (cb[1], cb[0]))
+        inproc = by_cfg[("inprocess", conns, batch)]["ops_per_second"]
+        wire = by_cfg[("loopback", conns, batch)]["ops_per_second"]
+        frac = wire / inproc if inproc > 0 else 0
+        status = "FAIL" if frac < min_wire_fraction else "ok"
+        print(f"{status}: net_loopback wire fraction at conns={conns} "
+              f"batch={batch}: {frac:.2f} of in-process "
+              f"(gate >= {min_wire_fraction})")
+        if frac < min_wire_fraction:
+            failures.append(
+                f"net_loopback wire fraction {frac:.2f} < {min_wire_fraction}")
+
+    small = by_cfg.get(("loopback", 1, 1))
+    large = [by_cfg[k] for k in by_cfg
+             if k[0] == "loopback" and k[1] == 1 and k[2] > 1]
+    if small and large and small["ops_per_second"] > 0:
+        best = max(r["ops_per_second"] for r in large)
+        speedup = best / small["ops_per_second"]
+        status = "FAIL" if speedup < min_batch_speedup else "ok"
+        print(f"{status}: net_loopback batching speedup on the wire: "
+              f"{speedup:.1f}x (gate >= {min_batch_speedup}x)")
+        if speedup < min_batch_speedup:
+            failures.append(
+                f"net_loopback batching speedup {speedup:.1f}x "
+                f"< {min_batch_speedup}x")
+    return failures
+
+
 def reference_ops(rows):
     """ops_per_second of the (unbatched) 1-shard/16-tenant sweep-(a) row.
     `batched` is absent in pre-batching baselines, hence the (0, None)."""
@@ -268,6 +319,7 @@ def main():
     failures.extend(check_shard_scaling(cur_rows))
     failures.extend(check_dispatch_overhead(cur_rows))
     failures.extend(check_dispatch_vs_baseline(base_rows, cur_rows))
+    failures.extend(check_net_loopback(cur_rows))
 
     if checked == 0:
         sys.exit("error: no comparable rows between baseline and current run")
