@@ -65,7 +65,15 @@ BacklogDb::BacklogDb(storage::Env& env, BacklogOptions options)
     : env_(env),
       options_(options),
       ws_(options.pruning),
-      cache_(options.cache_pages) {
+      private_cache_(options.shared_cache != nullptr
+                         ? nullptr
+                         : std::make_unique<storage::BlockCache>(
+                               static_cast<std::uint64_t>(options.cache_pages) *
+                                   storage::kPageSize,
+                               /*shards=*/1)),
+      cache_(options.shared_cache != nullptr ? *options.shared_cache
+                                             : *private_cache_),
+      result_cache_(options.result_cache_entries) {
   if (options_.partition_blocks == 0)
     throw std::invalid_argument("BacklogOptions: partition_blocks must be > 0");
   if (options_.max_extent_blocks == 0)
@@ -87,9 +95,15 @@ BacklogDb::BacklogDb(storage::Env& env, BacklogOptions options)
       throw std::invalid_argument(
           "BacklogOptions: file_tag must be [A-Za-z0-9._-] (it names files)");
   }
-  // Note: cache_pages == 0 is a documented value (disable the query cache,
-  // used by the cold-cache experiments); it is rejected at the service layer
-  // where a hosted volume always needs a cache, not here.
+  // Note: cache_pages == 0 (with no shared cache) is a documented value
+  // (disable the page cache, used by the cold-cache experiments); the
+  // service layer doesn't hit this path — hosted volumes read through the
+  // injected service-wide cache.
+  //
+  // Attach whichever cache this db reads through to the Env so deleting a
+  // run's last link invalidates its cached pages before the inode can be
+  // recycled. Never override a cache the service already attached.
+  if (env_.block_cache() == nullptr) env_.set_block_cache(&cache_);
   if (env_.file_exists(kManifestName)) {
     load_manifest();
     remove_orphan_runs();
@@ -98,7 +112,13 @@ BacklogDb::BacklogDb(storage::Env& env, BacklogOptions options)
   save_manifest();
 }
 
-BacklogDb::~BacklogDb() = default;
+BacklogDb::~BacklogDb() {
+  // The private cache dies with the db; the Env may outlive it (tests
+  // reopen a db over the same Env), so drop the dangling attachment. A
+  // service-injected shared cache outlives both — leave it.
+  if (private_cache_ != nullptr && env_.block_cache() == private_cache_.get())
+    env_.set_block_cache(nullptr);
+}
 
 void BacklogDb::add_reference(const BackrefKey& key) {
   if (key.length == 0)
@@ -108,6 +128,7 @@ void BacklogDb::add_reference(const BackrefKey& key) {
   max_extent_seen_ = std::max(max_extent_seen_, key.length);
   ws_.add_reference(key, registry_.current_cp());
   ++ops_since_cp_;
+  ++mutations_;
 }
 
 void BacklogDb::apply_many(std::span<const Update> ops) {
@@ -125,6 +146,7 @@ void BacklogDb::apply_many(std::span<const Update> ops) {
   max_extent_seen_ = std::max(max_extent_seen_, max_len);
   ws_.apply_many(ops, registry_.current_cp());
   ops_since_cp_ += ops.size();
+  ++mutations_;
 }
 
 void BacklogDb::remove_reference(const BackrefKey& key) {
@@ -136,6 +158,7 @@ void BacklogDb::remove_reference(const BackrefKey& key) {
   max_extent_seen_ = std::max(max_extent_seen_, key.length);
   ws_.remove_reference(key, registry_.current_cp());
   ++ops_since_cp_;
+  ++mutations_;
 }
 
 std::string BacklogDb::new_run_name(Table table, std::uint64_t partition) {
@@ -225,6 +248,7 @@ CpFlushStats BacklogDb::consistency_point() {
   registry_.advance_cp();
   persist_registry();
   ops_since_cp_ = 0;
+  ++mutations_;
 
   const storage::IoStats delta = env_.stats() - before;
   s.pages_written = delta.page_writes;
@@ -444,6 +468,18 @@ void BacklogDb::expand_inheritance(std::vector<CombinedRecord>& records) const {
 std::vector<BackrefEntry> BacklogDb::query(BlockNo first, std::uint64_t count,
                                            const QueryOptions& opts) {
   if (count == 0) return {};
+  // Result-cache fast path: the tag pairs this db's mutation counter with
+  // the registry version, so any update/CP/maintenance/registry change
+  // since the entry was stored makes the tags differ and the entry dies on
+  // comparison. Queries read the write store too (table_stream with
+  // include_ws), which is why plain CP-epoch tagging would be wrong — every
+  // buffered update must invalidate, not only flushes.
+  const ResultCache<std::vector<BackrefEntry>>::Key key{
+      first, count, opts.expand, opts.mask};
+  const ResultCache<std::vector<BackrefEntry>>::Tag tag{mutations_,
+                                                        registry_.version()};
+  if (const auto* cached = result_cache_.get(key, tag)) return *cached;
+
   std::vector<CombinedRecord> raw = collect_raw(first, first + count);
   if (opts.expand) expand_inheritance(raw);
   std::vector<BackrefEntry> out;
@@ -455,6 +491,7 @@ std::vector<BackrefEntry> BacklogDb::query(BlockNo first, std::uint64_t count,
     if (opts.mask && e.versions.empty()) continue;
     out.push_back(std::move(e));
   }
+  result_cache_.put(key, tag, out);
   return out;
 }
 
@@ -481,7 +518,10 @@ std::vector<CombinedRecord> BacklogDb::scan_all() {
   return out;
 }
 
-void BacklogDb::clear_cache() { cache_.clear(); }
+void BacklogDb::clear_cache() {
+  cache_.clear();
+  result_cache_.clear();
+}
 
 void BacklogDb::merge_run_batches(std::vector<std::shared_ptr<RunMeta>>& runs,
                                   Table table, std::uint64_t partition) {
@@ -564,6 +604,7 @@ MaintenanceStats BacklogDb::maintain() {
   s.pages_read = delta.page_reads;
   s.pages_written = delta.page_writes;
   s.wall_micros = now_micros() - t0;
+  ++mutations_;  // purging changes unmasked (query_raw-visible) results
   return s;
 }
 
@@ -592,6 +633,7 @@ MaintenanceStats BacklogDb::maintain_partition(BlockNo block) {
   s.pages_read = delta.page_reads;
   s.pages_written = delta.page_writes;
   s.wall_micros = now_micros() - t0;
+  ++mutations_;
   return s;
 }
 
@@ -789,6 +831,7 @@ std::uint64_t BacklogDb::relocate(BlockNo old_block, std::uint64_t length,
     flush_table(new_combined, kCombinedRecordSize, Table::kCombined);
   }
   if (moved > 0) dv_dirty_ = true;
+  ++mutations_;
   return moved;
 }
 

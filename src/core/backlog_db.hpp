@@ -24,13 +24,14 @@
 #include <vector>
 
 #include "core/backref_record.hpp"
+#include "core/result_cache.hpp"
 #include "core/snapshot_registry.hpp"
 #include "core/write_store.hpp"
 #include "lsm/deletion_vector.hpp"
 #include "lsm/merge.hpp"
 #include "lsm/run_file.hpp"
+#include "storage/block_cache.hpp"
 #include "storage/env.hpp"
-#include "storage/page_cache.hpp"
 
 namespace backlog::core {
 
@@ -48,8 +49,27 @@ struct BacklogOptions {
   /// The Combined RS may grow its filter up to 1 MB (§5.1).
   std::size_t combined_bloom_max_bytes = 1024 * 1024;
 
-  /// Query page cache (paper: 32 MB, §6.1). In pages of 4 KB.
+  /// DEPRECATED — page budget of the *private* fallback cache, in 4 KB
+  /// pages (paper: 32 MB, §6.1). Only consulted when `shared_cache` is
+  /// null: bare-library users keep the old one-cache-per-db behavior
+  /// unchanged. Service deployments ignore it — the VolumeManager owns one
+  /// service-wide storage::BlockCache sized by service::CacheOptions and
+  /// injects it below; migrate by setting `shared_cache` (and size the
+  /// budget there) instead of tuning per-volume pages.
   std::size_t cache_pages = 8192;
+
+  /// Service-wide block cache (borrowed; must outlive the db). When set,
+  /// this db reads run pages through it — keyed by file identity
+  /// (dev, ino), so CoW-cloned volumes sharing hard-linked runs share the
+  /// cached pages too — and `cache_pages` is ignored. Null (the standalone
+  /// default) makes the db construct a private cache of `cache_pages`.
+  storage::BlockCache* shared_cache = nullptr;
+
+  /// Capacity (entries) of the per-volume query result cache; 0 (the
+  /// default) disables it. Results are tagged with the volume's mutation
+  /// epoch + registry version and die by tag comparison — see
+  /// core/result_cache.hpp.
+  std::size_t result_cache_entries = 0;
 
   /// How many run files may be held open simultaneously.
   std::size_t max_open_runs = 256;
@@ -241,8 +261,29 @@ class BacklogDb {
   /// Every joined record in the database (unmasked, unexpanded).
   [[nodiscard]] std::vector<CombinedRecord> scan_all();
 
-  /// Drop cached pages (cold-cache query experiments, §6.4).
+  /// Drop cached pages *and* cached query results (cold-cache query
+  /// experiments, §6.4). Note: with an injected shared_cache this clears
+  /// the whole service-wide block cache — the fleet-wide cold-cache knob is
+  /// the service layer's clear_caches(), which clears the block cache once.
   void clear_cache();
+
+  /// Drop only this volume's cached query results (the service layer's
+  /// per-volume share of clear_caches()).
+  void clear_result_cache() { result_cache_.clear(); }
+
+  /// Counters of this volume's query result cache.
+  [[nodiscard]] ResultCacheStats result_cache_stats() const {
+    return result_cache_.stats();
+  }
+
+  /// Counters of the block cache this db reads through. With an injected
+  /// shared_cache these are the *service-wide* counters (every volume sees
+  /// the same numbers); in the legacy standalone mode they are this db's
+  /// private cache, which is how the service layer aggregates a per-volume
+  /// fleet report.
+  [[nodiscard]] storage::BlockCacheStats block_cache_stats() const {
+    return cache_.stats();
+  }
 
   // --- maintenance (§5.2) -----------------------------------------------------
 
@@ -348,7 +389,15 @@ class BacklogDb {
   BacklogOptions options_;
   SnapshotRegistry registry_;
   WriteStore ws_;
-  storage::PageCache cache_;
+  // The compat shim for bare-library users: when no shared cache is
+  // injected, the db owns a private one and cache_ points at it.
+  std::unique_ptr<storage::BlockCache> private_cache_;
+  storage::BlockCache& cache_;
+  ResultCache<std::vector<BackrefEntry>> result_cache_;
+  /// Bumped by every operation that can change a query answer outside the
+  /// registry: updates, CP flushes, maintenance, relocation. Together with
+  /// registry_.version() it forms the result cache's tag.
+  std::uint64_t mutations_ = 0;
   std::map<std::uint64_t, Partition> partitions_;
   std::uint64_t next_run_id_ = 1;
   std::uint64_t ops_since_cp_ = 0;

@@ -1,0 +1,146 @@
+// ResultCache: per-volume query/backref result cache with epoch tags.
+//
+// Caches whole masked-query results keyed by the query shape (first block,
+// count, expand/mask flags). Every entry is stamped with the volume's
+// mutation tag — the pair (BacklogDb mutation counter, SnapshotRegistry
+// version) — at insert time. A hit whose tag no longer matches the current
+// tag is stale and dies by tag comparison: no scans, no explicit
+// invalidation calls from the write path. Anything that can change a query
+// answer bumps one of the two counters (updates, CPs, maintenance and
+// relocation bump the db counter; snapshot/clone/delete/kill/collect bump
+// the registry version), so the tag is conservative by construction.
+//
+// Owned by one BacklogDb and accessed only on the volume's shard thread —
+// single-threaded on purpose, like the write store. Capacity 0 disables it.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "util/hash.hpp"
+
+namespace backlog::core {
+
+struct ResultCacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;      ///< lookups that found nothing usable
+  std::uint64_t stale_hits = 0;  ///< present but out-tagged (subset of misses)
+  std::uint64_t entries = 0;
+  std::uint64_t capacity = 0;
+
+  [[nodiscard]] double hit_ratio() const noexcept {
+    const std::uint64_t total = hits + misses;
+    return total == 0 ? 0.0
+                      : static_cast<double>(hits) / static_cast<double>(total);
+  }
+};
+
+template <typename Result>
+class ResultCache {
+ public:
+  struct Key {
+    std::uint64_t first = 0;
+    std::uint64_t count = 0;
+    bool expand = true;
+    bool mask = true;
+
+    friend bool operator==(const Key&, const Key&) = default;
+  };
+
+  /// The volume's mutation tag; see the header comment.
+  struct Tag {
+    std::uint64_t mutations = 0;
+    std::uint64_t registry = 0;
+
+    friend bool operator==(const Tag&, const Tag&) = default;
+  };
+
+  explicit ResultCache(std::size_t capacity) : capacity_(capacity) {}
+
+  [[nodiscard]] bool enabled() const noexcept { return capacity_ != 0; }
+
+  /// The cached result for `key` if present and stamped with `tag`, else
+  /// nullptr. A stale entry (tag mismatch) is erased on the spot.
+  const Result* get(const Key& key, const Tag& tag) {
+    if (capacity_ == 0) {
+      ++misses_;
+      return nullptr;
+    }
+    const auto it = map_.find(key);
+    if (it == map_.end()) {
+      ++misses_;
+      return nullptr;
+    }
+    if (!(it->second->tag == tag)) {
+      lru_.erase(it->second);
+      map_.erase(it);
+      ++stale_hits_;
+      ++misses_;
+      return nullptr;
+    }
+    lru_.splice(lru_.begin(), lru_, it->second);
+    ++hits_;
+    return &it->second->result;
+  }
+
+  void put(const Key& key, const Tag& tag, Result result) {
+    if (capacity_ == 0) return;
+    const auto it = map_.find(key);
+    if (it != map_.end()) {
+      it->second->tag = tag;
+      it->second->result = std::move(result);
+      lru_.splice(lru_.begin(), lru_, it->second);
+      return;
+    }
+    lru_.push_front(Entry{key, tag, std::move(result)});
+    map_.emplace(key, lru_.begin());
+    while (lru_.size() > capacity_) {
+      map_.erase(lru_.back().key);
+      lru_.pop_back();
+    }
+  }
+
+  void clear() {
+    map_.clear();
+    lru_.clear();
+  }
+
+  [[nodiscard]] ResultCacheStats stats() const {
+    ResultCacheStats s;
+    s.hits = hits_;
+    s.misses = misses_;
+    s.stale_hits = stale_hits_;
+    s.entries = lru_.size();
+    s.capacity = capacity_;
+    return s;
+  }
+
+ private:
+  struct Entry {
+    Key key;
+    Tag tag;
+    Result result;
+  };
+
+  struct KeyHash {
+    std::size_t operator()(const Key& k) const noexcept {
+      std::uint64_t h = k.first * 0x9e3779b97f4a7c15ULL;
+      h ^= k.count * 0x100000001b3ULL;
+      h ^= (static_cast<std::uint64_t>(k.expand) << 1) |
+           static_cast<std::uint64_t>(k.mask);
+      return static_cast<std::size_t>(util::hash_u64(h));
+    }
+  };
+
+  std::size_t capacity_;
+  std::list<Entry> lru_;  // front = most recent
+  std::unordered_map<Key, typename std::list<Entry>::iterator, KeyHash> map_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t stale_hits_ = 0;
+};
+
+}  // namespace backlog::core

@@ -13,7 +13,10 @@ SnapshotRegistry::SnapshotRegistry() {
   lines_.emplace(0, std::move(root));
 }
 
-Epoch SnapshotRegistry::advance_cp() { return ++current_cp_; }
+Epoch SnapshotRegistry::advance_cp() {
+  ++version_;
+  return ++current_cp_;
+}
 
 const SnapshotRegistry::LineInfo& SnapshotRegistry::info(LineId line) const {
   auto it = lines_.find(line);
@@ -39,6 +42,7 @@ Epoch SnapshotRegistry::take_snapshot(LineId line) {
   if (!li.live)
     throw std::logic_error("take_snapshot: line has no live head");
   li.snapshots.insert(current_cp_);
+  ++version_;
   return current_cp_;
 }
 
@@ -57,6 +61,7 @@ LineId SnapshotRegistry::create_clone(LineId parent, Epoch version) {
   li.live = true;
   p.children.push_back({id, version});
   lines_.emplace(id, std::move(li));
+  ++version_;
   return id;
 }
 
@@ -73,11 +78,16 @@ void SnapshotRegistry::delete_snapshot(LineId line, Epoch version) {
         return e.branch_version == version && lines_.contains(e.child);
       });
   if (cloned) li.zombies.insert(version);
+  ++version_;
 }
 
-void SnapshotRegistry::kill_line(LineId line) { info(line).live = false; }
+void SnapshotRegistry::kill_line(LineId line) {
+  info(line).live = false;
+  ++version_;
+}
 
 std::size_t SnapshotRegistry::collect_zombies() {
+  ++version_;
   std::size_t dropped = 0;
   // Iterate to fixpoint: forgetting a line can orphan a zombie in its
   // parent, which can in turn let the parent line itself be forgotten.

@@ -119,6 +119,14 @@ class SnapshotRegistry {
   static SnapshotRegistry deserialize(std::span<const std::uint8_t> in,
                                       std::size_t* consumed);
 
+  /// Monotonic mutation counter: bumped by every state-changing call
+  /// (advance_cp, take_snapshot, create_clone, delete_snapshot, kill_line,
+  /// collect_zombies). BacklogDb's query result cache tags each entry with
+  /// it so any registry change — which can alter masking, expansion or the
+  /// visible version set — invalidates by tag comparison, no scans. Not
+  /// persisted: the cache is in-memory and dies with the process.
+  [[nodiscard]] std::uint64_t version() const noexcept { return version_; }
+
  private:
   struct LineInfo {
     LineId id = 0;
@@ -136,6 +144,7 @@ class SnapshotRegistry {
 
   Epoch current_cp_ = 1;
   LineId next_line_ = 1;
+  std::uint64_t version_ = 0;
   std::map<LineId, LineInfo> lines_;
 };
 

@@ -165,7 +165,7 @@ std::uint64_t RunWriter::finish() {
 }
 
 RunFile::RunFile(storage::Env& env, std::string file_name,
-                 storage::PageCache& cache)
+                 storage::BlockCache& cache)
     : env_(env), name_(std::move(file_name)), cache_(cache) {
   file_ = env_.open_file(name_);
   if (file_->size() < kPageSize || file_->size() % kPageSize != 0)

@@ -27,7 +27,7 @@
 #include <vector>
 
 #include "storage/env.hpp"
-#include "storage/page_cache.hpp"
+#include "storage/block_cache.hpp"
 #include "util/bloom.hpp"
 
 namespace backlog::lsm {
@@ -112,7 +112,7 @@ class RunWriter {
 class RunFile {
  public:
   /// Opens the file, reads footer and Bloom filter (charged to IoStats).
-  RunFile(storage::Env& env, std::string file_name, storage::PageCache& cache);
+  RunFile(storage::Env& env, std::string file_name, storage::BlockCache& cache);
 
   [[nodiscard]] const std::string& name() const noexcept { return name_; }
   [[nodiscard]] std::uint64_t record_count() const noexcept { return record_count_; }
@@ -167,7 +167,7 @@ class RunFile {
   storage::Env& env_;
   std::string name_;
   std::unique_ptr<storage::RandomAccessFile> file_;
-  storage::PageCache& cache_;
+  storage::BlockCache& cache_;
   std::size_t record_size_ = 0;
   std::size_t records_per_page_ = 0;
   std::uint64_t record_count_ = 0;

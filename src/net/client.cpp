@@ -405,4 +405,14 @@ std::string Client::balance_text(std::uint64_t cycles) {
   return r.string(kMaxTextBody);
 }
 
+std::string Client::cache_text(bool json) {
+  util::Writer w;
+  w.u8(json ? 1 : 0);
+  const auto body = call(Verb::kCacheText, "", w.data());
+  util::Reader r(body);
+  return r.string(kMaxTextBody);
+}
+
+void Client::cache_clear() { call(Verb::kCacheClear, "", {}); }
+
 }  // namespace backlog::net

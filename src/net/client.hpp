@@ -101,6 +101,8 @@ class Client {
   std::string dump_run_text(const std::string& tenant,
                             const std::string& file);
   std::string balance_text(std::uint64_t cycles);
+  std::string cache_text(bool json);
+  void cache_clear();
 
  private:
   /// Write all of `data` (EINTR retried; write()==0 is an error).

@@ -96,6 +96,8 @@ enum class Verb : std::uint16_t {
   kMaintainText = 73,
   kDumpRunText = 74,
   kBalanceText = 75,
+  kCacheText = 76,
+  kCacheClear = 77,
 };
 
 struct FrameHeader {

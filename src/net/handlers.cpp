@@ -393,6 +393,18 @@ void ServiceEndpoint::register_handlers() {
         out += line;
         return text_ok(out);
       });
+
+  server_.register_handler(
+      Verb::kCacheText, ctl, [this](const FrameHeader&, util::Reader& r) {
+        const bool json = r.u8() != 0;
+        return text_ok(render_cache(vm_.cache_stats(), json));
+      });
+
+  server_.register_handler(
+      Verb::kCacheClear, ctl, [this](const FrameHeader&, util::Reader&) {
+        vm_.clear_caches();
+        return Response::ok();
+      });
 }
 
 }  // namespace backlog::net

@@ -58,7 +58,7 @@ std::string render_info(core::BacklogDb& db, const std::string& label) {
 std::string render_runs(storage::Env& env) {
   std::string out;
   appendf(out, "%-26s %10s %14s\n", "file", "records", "bytes");
-  storage::PageCache cache(64);
+  storage::BlockCache cache(64 * storage::kPageSize, /*shards=*/1);
   for (const std::string& name : env.list_files()) {
     if (!name.ends_with(".run")) continue;
     lsm::RunFile run(env, name, cache);
@@ -109,7 +109,7 @@ std::string render_maintenance(const core::MaintenanceStats& m) {
 
 std::string render_dump_run(storage::Env& env, const std::string& file) {
   std::string out;
-  storage::PageCache cache(256);
+  storage::BlockCache cache(256 * storage::kPageSize, /*shards=*/1);
   lsm::RunFile run(env, file, cache);
   const char kind = file.empty() ? '?' : file[0];
   auto stream = run.scan();
@@ -193,6 +193,60 @@ std::string render_stats(const service::ServiceStats& stats, bool json) {
                " us, queue wait p99 %" PRIu64 " us\n",
           t.updates, t.cps, t.queries, t.query_micros.p50(),
           t.query_micros.p99(), t.queue_wait_micros.p99());
+  return out;
+}
+
+std::string render_cache(const service::VolumeManager::CacheReport& report,
+                         bool json) {
+  const auto& b = report.block;
+  std::string out;
+  if (json) {
+    appendf(out,
+            "{\"block\":{\"shared\":%s,\"capacity_bytes\":%" PRIu64
+            ",\"shards\":%" PRIu64 ",\"entries\":%" PRIu64
+            ",\"bytes\":%" PRIu64 ",\"hits\":%" PRIu64 ",\"misses\":%" PRIu64
+            ",\"hit_ratio\":%.4f,\"evictions\":%" PRIu64
+            ",\"invalidations\":%" PRIu64 "},\"tenants\":{",
+            report.block_shared ? "true" : "false", b.capacity_bytes,
+            b.shards, b.entries, b.bytes, b.hits, b.misses, b.hit_ratio(),
+            b.evictions, b.invalidations);
+    bool first = true;
+    for (const auto& row : report.tenants) {
+      if (!first) out += ",";
+      first = false;
+      appendf(out,
+              "\"%s\":{\"hits\":%" PRIu64 ",\"misses\":%" PRIu64
+              ",\"stale_hits\":%" PRIu64 ",\"entries\":%" PRIu64
+              ",\"capacity\":%" PRIu64 ",\"hit_ratio\":%.4f}",
+              row.tenant.c_str(), row.result.hits, row.result.misses,
+              row.result.stale_hits, row.result.entries, row.result.capacity,
+              row.result.hit_ratio());
+    }
+    out += "}}\n";
+    return out;
+  }
+  appendf(out,
+          "block cache:   %s, %.1f MiB budget, %" PRIu64 " shards\n",
+          report.block_shared ? "shared" : "per-volume (legacy)",
+          static_cast<double>(b.capacity_bytes) / (1u << 20), b.shards);
+  appendf(out,
+          "  resident:    %" PRIu64 " pages (%.1f MiB)\n", b.entries,
+          static_cast<double>(b.bytes) / (1u << 20));
+  appendf(out,
+          "  hits/misses: %" PRIu64 "/%" PRIu64 " (ratio %.3f)\n", b.hits,
+          b.misses, b.hit_ratio());
+  appendf(out,
+          "  evicted:     %" PRIu64 ", invalidated: %" PRIu64 "\n",
+          b.evictions, b.invalidations);
+  appendf(out, "%-20s %10s %10s %8s %8s %8s\n", "tenant", "res_hits",
+          "res_miss", "stale", "entries", "cap");
+  for (const auto& row : report.tenants) {
+    appendf(out,
+            "%-20s %10" PRIu64 " %10" PRIu64 " %8" PRIu64 " %8" PRIu64
+            " %8" PRIu64 "\n",
+            row.tenant.c_str(), row.result.hits, row.result.misses,
+            row.result.stale_hits, row.result.entries, row.result.capacity);
+  }
   return out;
 }
 

@@ -13,6 +13,7 @@
 #include "core/backlog_db.hpp"
 #include "service/service_stats.hpp"
 #include "service/trace.hpp"
+#include "service/volume_manager.hpp"
 #include "storage/env.hpp"
 
 namespace backlog::net {
@@ -41,6 +42,11 @@ std::string render_dump_run(storage::Env& env, const std::string& file);
 /// `backlogctl stats`: the merged ServiceStats as the per-tenant table (or
 /// one JSON object with json=true).
 std::string render_stats(const service::ServiceStats& stats, bool json);
+
+/// `backlogctl cache`: the shared block cache's counters plus each hosted
+/// volume's result-cache counters (or one JSON object with json=true).
+std::string render_cache(const service::VolumeManager::CacheReport& report,
+                         bool json);
 
 /// `backlogctl trace`: sampled spans + slow-op log. `sample`/`slow_us`
 /// label the report headers (they are the knobs the run used).

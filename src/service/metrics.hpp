@@ -26,6 +26,7 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -93,9 +94,16 @@ class MetricsRegistry {
           labels_(std::move(labels)) {}
 
     void set(double v) noexcept { value_.store(v, std::memory_order_relaxed); }
-    [[nodiscard]] double value() const noexcept {
-      return value_.load(std::memory_order_relaxed);
+    [[nodiscard]] double value() const {
+      return fn_ ? fn_() : value_.load(std::memory_order_relaxed);
     }
+
+    /// Callback-backed mode: the gauge evaluates `fn` at scrape time
+    /// instead of storing a value — used for counters that live elsewhere
+    /// as relaxed atomics (the BlockCache's hit/miss/eviction counts). The
+    /// callback must be thread-safe; it runs under the registry lock on
+    /// whatever thread scrapes.
+    void set_callback(std::function<double()> fn) { fn_ = std::move(fn); }
 
     [[nodiscard]] const std::string& name() const noexcept { return name_; }
     [[nodiscard]] const std::string& help() const noexcept { return help_; }
@@ -106,6 +114,7 @@ class MetricsRegistry {
     std::string help_;
     std::string labels_;
     std::atomic<double> value_{0.0};
+    std::function<double()> fn_;
   };
 
   /// Log2-bucketed latency histogram with per-slot single-writer storage;

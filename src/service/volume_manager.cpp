@@ -1,5 +1,7 @@
 #include "service/volume_manager.hpp"
 
+#include <sys/stat.h>
+
 #include <algorithm>
 #include <filesystem>
 #include <random>
@@ -74,10 +76,12 @@ ServiceOptions validated(ServiceOptions options) {
   if (options.dequeue_chunk == 0)
     throw std::invalid_argument(
         "ServiceOptions: dequeue_chunk must be > 0 (1 = unchunked dequeue)");
-  if (options.db_options.cache_pages == 0)
+  if (!options.cache.enable_block_cache &&
+      options.db_options.cache_pages == 0)
     throw std::invalid_argument(
-        "ServiceOptions: db_options.cache_pages must be > 0 (a hosted volume "
-        "always serves queries through its cache)");
+        "ServiceOptions: with the shared block cache disabled, "
+        "db_options.cache_pages must be > 0 (a hosted volume always serves "
+        "queries through some cache)");
   return options;
 }
 
@@ -105,6 +109,10 @@ bool VolumeManager::flush_buffered_cp(Volume& v) {
 VolumeManager::VolumeManager(ServiceOptions options)
     : options_(validated(std::move(options))),
       shared_files_(options_.root),
+      block_cache_(options_.cache.enable_block_cache
+                       ? options_.cache.capacity_bytes
+                       : 0,
+                   options_.cache.block_cache_shards),
       metrics_(options_.shards + 1),  // one slot per shard + the API slot
       pool_(options_.shards, options_.bg_starvation_limit,
             options_.dequeue_chunk, options_.pin_shards) {
@@ -158,6 +166,45 @@ VolumeManager::VolumeManager(ServiceOptions options)
   hot_.gate_wait_micros = &metrics_.histogram(
       "backlog_gate_wait_micros",
       "QoS gate hold time of throttled ops (populated while tracing)");
+  // Block-cache counters live inside BlockCache as relaxed atomics (many
+  // writers); the registry exports them through callback gauges evaluated
+  // at scrape time instead of mirroring them on the hot path. Monotonic
+  // except entries/bytes (and all reset by `backlogctl cache clear`).
+  metrics_
+      .gauge("backlog_block_cache_hits", "Shared block cache page hits")
+      .set_callback([this] {
+        return static_cast<double>(block_cache_.stats().hits);
+      });
+  metrics_
+      .gauge("backlog_block_cache_misses",
+             "Shared block cache page misses (each one storage read)")
+      .set_callback([this] {
+        return static_cast<double>(block_cache_.stats().misses);
+      });
+  metrics_
+      .gauge("backlog_block_cache_evictions",
+             "Pages evicted from the shared block cache (LRU)")
+      .set_callback([this] {
+        return static_cast<double>(block_cache_.stats().evictions);
+      });
+  metrics_
+      .gauge("backlog_block_cache_invalidations",
+             "Pages dropped because their file's last link was removed")
+      .set_callback([this] {
+        return static_cast<double>(block_cache_.stats().invalidations);
+      });
+  metrics_
+      .gauge("backlog_block_cache_entries",
+             "Pages currently resident in the shared block cache")
+      .set_callback([this] {
+        return static_cast<double>(block_cache_.stats().entries);
+      });
+  metrics_
+      .gauge("backlog_block_cache_bytes",
+             "Bytes currently resident in the shared block cache")
+      .set_callback([this] {
+        return static_cast<double>(block_cache_.stats().bytes);
+      });
   recover_clone_staging();
 }
 
@@ -264,6 +311,13 @@ core::BacklogOptions VolumeManager::volume_db_options() {
   core::BacklogOptions opts = options_.db_options;
   opts.file_tag = make_file_tag();
   opts.shared_files = &shared_files_;
+  // Hosted volumes read through the service-wide block cache (the BacklogDb
+  // ctor attaches it to the volume's Env for unlink invalidation); the
+  // legacy cache_pages knob only matters when the shared cache is disabled.
+  if (options_.cache.enable_block_cache) opts.shared_cache = &block_cache_;
+  opts.result_cache_entries = options_.cache.enable_result_cache
+                                  ? options_.cache.result_cache_entries
+                                  : 0;
   return opts;
 }
 
@@ -487,6 +541,17 @@ void VolumeManager::release_directory_via_manifest(
   std::error_code ec;
   for (const auto& de : std::filesystem::directory_iterator(dir, ec)) {
     const std::string name = de.path().filename().string();
+    // This path deletes with std::filesystem directly (the volume's Env is
+    // already gone), so it must mirror Env::delete_file's cache rule by
+    // hand: drop the file's cached pages when this link is the last one —
+    // links still held by a clone keep the pages (and the bytes) alive.
+    if (block_cache_.enabled()) {
+      struct ::stat st{};
+      if (::stat(de.path().c_str(), &st) == 0 && st.st_nlink <= 1) {
+        block_cache_.erase_file(static_cast<std::uint64_t>(st.st_dev),
+                                static_cast<std::uint64_t>(st.st_ino));
+      }
+    }
     std::error_code rm_ec;
     std::filesystem::remove(de.path(), rm_ec);
     if (!rm_ec && name.ends_with(".run")) shared_files_.note_unlink(name);
@@ -1122,6 +1187,104 @@ ServiceStats VolumeManager::stats() {
     }
   }
   return out;
+}
+
+VolumeManager::CacheReport VolumeManager::cache_stats() {
+  CacheReport report;
+  report.block = block_cache_.stats();
+  report.block_shared = options_.cache.enable_block_cache;
+  // In legacy per-volume mode the shared cache is a disabled stub; the
+  // meaningful numbers live in each db's private cache, so zero the report
+  // here and sum the per-volume counters below (capacity sums to the fleet
+  // total, shards counts one stripe per volume).
+  if (!report.block_shared) report.block = {};
+  // Result-cache counters are shard-thread-private (like the write store),
+  // so gather them the way stats() does: one bypass-gate task per volume,
+  // shard by shard, sequentially.
+  std::vector<std::vector<std::shared_ptr<Volume>>> by_shard(pool_.size());
+  {
+    std::lock_guard lock(mu_);
+    std::shared_lock rlock(routing_mu_);
+    for (const auto& [name, vol] : volumes_)
+      by_shard[vol->shard.load(std::memory_order_relaxed)].push_back(vol);
+  }
+  struct VolCaches {
+    core::ResultCacheStats result;
+    storage::BlockCacheStats block;
+  };
+  for (std::size_t shard = 0; shard < by_shard.size(); ++shard) {
+    std::vector<std::pair<std::shared_ptr<Volume>, std::future<VolCaches>>>
+        futs;
+    futs.reserve(by_shard[shard].size());
+    for (const auto& vol : by_shard[shard]) {
+      futs.emplace_back(
+          vol, run_on(
+                   vol,
+                   [](Volume& v) {
+                     return VolCaches{v.db->result_cache_stats(),
+                                      v.db->block_cache_stats()};
+                   },
+                   /*background=*/false, 0, 0, /*bypass_gate=*/true));
+    }
+    for (auto& [vol, fut] : futs) {
+      try {
+        const VolCaches vc = fut.get();
+        report.tenants.push_back({vol->tenant, vc.result});
+        if (!report.block_shared) {
+          report.block.hits += vc.block.hits;
+          report.block.misses += vc.block.misses;
+          report.block.evictions += vc.block.evictions;
+          report.block.invalidations += vc.block.invalidations;
+          report.block.entries += vc.block.entries;
+          report.block.bytes += vc.block.bytes;
+          report.block.capacity_bytes += vc.block.capacity_bytes;
+          report.block.shards += vc.block.shards;
+        }
+      } catch (const std::logic_error&) {
+        // Closed while the task was queued — skip it.
+      }
+    }
+  }
+  std::sort(report.tenants.begin(), report.tenants.end(),
+            [](const CacheReport::VolumeRow& a, const CacheReport::VolumeRow& b) {
+              return a.tenant < b.tenant;
+            });
+  return report;
+}
+
+void VolumeManager::clear_caches() {
+  // One clear of the shared cache, then each volume drops its private state
+  // on its own shard: the result cache always, and the legacy private block
+  // cache when no shared cache is injected. bypass_gate so a throttled
+  // tenant cannot wedge the fleet-wide cold-cache lever.
+  block_cache_.clear();
+  std::vector<std::shared_ptr<Volume>> vols;
+  {
+    std::lock_guard lock(mu_);
+    for (const auto& [name, vol] : volumes_) vols.push_back(vol);
+  }
+  std::vector<std::future<void>> futs;
+  futs.reserve(vols.size());
+  const bool shared = options_.cache.enable_block_cache;
+  for (const auto& vol : vols) {
+    futs.push_back(run_on(
+        vol,
+        [shared](Volume& v) {
+          if (shared) {
+            v.db->clear_result_cache();
+          } else {
+            v.db->clear_cache();  // private block cache + result cache
+          }
+        },
+        /*background=*/false, 0, 0, /*bypass_gate=*/true));
+  }
+  for (auto& fut : futs) {
+    try {
+      fut.get();
+    } catch (const std::logic_error&) {
+      // Closed while the task was queued — nothing to clear.
+    }
+  }
 }
 
 std::future<void> VolumeManager::with_db(

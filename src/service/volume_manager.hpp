@@ -49,16 +49,50 @@
 
 #include "core/backlog_db.hpp"
 #include "core/file_manifest.hpp"
+#include "core/result_cache.hpp"
 #include "service/metrics.hpp"
 #include "service/qos.hpp"
 #include "service/service_stats.hpp"
 #include "service/trace.hpp"
 #include "service/worker_pool.hpp"
+#include "storage/block_cache.hpp"
 #include "storage/env.hpp"
 #include "util/clock.hpp"
 #include "util/hash.hpp"
 
 namespace backlog::service {
+
+/// Service-wide cache configuration. This replaces per-volume
+/// BacklogOptions::cache_pages for hosted volumes: one block cache, sized
+/// once, serves every tenant — CoW-cloned volumes share cached pages of
+/// their hard-linked runs by construction (the cache keys on file identity,
+/// not on the owning volume).
+struct CacheOptions {
+  /// Total byte budget of the shared block cache, across all tenants
+  /// (paper: 32 MB, §6.1). 0 disables page caching entirely (cold-cache
+  /// experiments): every read goes to storage.
+  std::uint64_t capacity_bytes = 32ull << 20;
+
+  /// Mutex stripes of the block cache (clamped to >= 1). More stripes =
+  /// less lock contention across shard threads; each stripe LRUs its own
+  /// slice of the budget.
+  std::size_t block_cache_shards = 16;
+
+  /// Per-volume query result cache capacity, in entries (0 disables).
+  /// Entries are invalidated by mutation-epoch tag comparison — see
+  /// core/result_cache.hpp.
+  std::size_t result_cache_entries = 256;
+
+  /// Escape hatch back to the legacy per-volume caches: when false, no
+  /// shared cache is injected and every hosted BacklogDb builds a private
+  /// cache of db_options.cache_pages (which must then be > 0). Exists for
+  /// A/B benching (bench/cache_hit) — production wants the shared cache.
+  bool enable_block_cache = true;
+
+  /// When false, hosted volumes get no result cache regardless of
+  /// result_cache_entries.
+  bool enable_result_cache = true;
+};
 
 struct ServiceOptions {
   /// Worker shards; each hosts a disjoint subset of the volumes.
@@ -67,10 +101,16 @@ struct ServiceOptions {
   /// Volumes live at root/<tenant>.
   std::filesystem::path root;
 
-  /// Options applied to every hosted BacklogDb. The service additionally
-  /// requires cache_pages > 0: a hosted volume always serves queries, so the
-  /// cold-cache experimental setting would be a misconfiguration here.
+  /// Options applied to every hosted BacklogDb. Caching fields are
+  /// overridden by `cache` below: hosted volumes read through the shared
+  /// service cache, so db_options.cache_pages is ignored unless
+  /// cache.enable_block_cache is false (the legacy per-volume mode, which
+  /// requires cache_pages > 0).
   core::BacklogOptions db_options{};
+
+  /// The service-wide cache configuration (block cache + per-volume result
+  /// caches). See CacheOptions.
+  CacheOptions cache{};
 
   /// Env fsync behaviour for hosted volumes (benches disable it).
   bool sync_writes = false;
@@ -412,6 +452,43 @@ class VolumeManager {
   /// other shards, and the fleet never takes a coordinated stats blip.
   ServiceStats stats();
 
+  // --- caches ----------------------------------------------------------------
+
+  /// Fleet-wide cache snapshot: the shared block cache's counters plus each
+  /// hosted volume's result-cache counters.
+  struct CacheReport {
+    storage::BlockCacheStats block;
+    /// False when the shared cache is disabled (CacheOptions
+    /// enable_block_cache = false): volumes run legacy private caches and
+    /// `block` is the *sum* over every open volume's private cache —
+    /// capacity_bytes totals the fleet budget, shards counts one stripe
+    /// per volume.
+    bool block_shared = true;
+    struct VolumeRow {
+      std::string tenant;
+      core::ResultCacheStats result;
+    };
+    std::vector<VolumeRow> tenants;  ///< sorted by tenant name
+  };
+
+  /// Snapshot of all cache counters. Per-volume rows are gathered like
+  /// stats(): sequentially, one bypass-gate task per shard, so a throttled
+  /// tenant can still be inspected and at most one shard services the
+  /// report at a time.
+  [[nodiscard]] CacheReport cache_stats();
+
+  /// Drop every cached page and cached query result service-wide (the
+  /// paper's cold-cache lever, §6.4, lifted to the fleet). Volumes' result
+  /// caches are cleared on their own shards; in-flight queries simply
+  /// repopulate afterwards.
+  void clear_caches();
+
+  /// The service-wide block cache (disabled object when
+  /// CacheOptions::enable_block_cache is false).
+  [[nodiscard]] storage::BlockCache& block_cache() noexcept {
+    return block_cache_;
+  }
+
   // --- observability -----------------------------------------------------
 
   /// The service's metric registry (always on: every verb bumps its
@@ -748,6 +825,10 @@ class VolumeManager {
 
   ServiceOptions options_;
   core::FileManifest shared_files_;  // shared-file refcounts (CoW clones)
+  // The shared block cache. Declared before volumes_/pool_ so it outlives
+  // every hosted Env/BacklogDb that reads through it (members destroy in
+  // reverse order; the pool joins first, then volumes_, then this).
+  storage::BlockCache block_cache_;
   mutable std::mutex mu_;  // guards volumes_ (name -> volume membership)
   std::map<std::string, std::shared_ptr<Volume>> volumes_;
   // The routing table lock: shared for every task submission, exclusive

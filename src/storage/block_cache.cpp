@@ -1,0 +1,127 @@
+#include "storage/block_cache.hpp"
+
+#include "util/hash.hpp"
+
+namespace backlog::storage {
+
+std::size_t BlockCache::KeyHash::operator()(const Key& k) const noexcept {
+  // Mix all three components through the same 64-bit finalizer the rest of
+  // the repo uses; dev is almost always constant, so fold it in first.
+  std::uint64_t h = k.dev * 0x9e3779b97f4a7c15ULL;
+  h ^= k.ino * 0x100000001b3ULL;
+  h ^= k.page_no;
+  return static_cast<std::size_t>(util::hash_u64(h));
+}
+
+BlockCache::BlockCache(std::uint64_t capacity_bytes, std::size_t shards)
+    : capacity_bytes_(capacity_bytes) {
+  if (shards == 0) shards = 1;
+  // Each stripe owns an equal slice of the page budget. A nonzero total
+  // budget always grants every stripe at least one page — otherwise a
+  // "1-page cache" with 16 stripes would silently cache nothing.
+  const std::uint64_t total_pages = capacity_bytes_ / kPageSize;
+  pages_per_shard_ = static_cast<std::size_t>(total_pages / shards);
+  if (total_pages != 0 && pages_per_shard_ == 0) pages_per_shard_ = 1;
+  shards_.reserve(shards);
+  for (std::size_t i = 0; i < shards; ++i)
+    shards_.push_back(std::make_unique<Shard>());
+}
+
+BlockCache::Shard& BlockCache::shard_of(const Key& k) noexcept {
+  return *shards_[KeyHash{}(k) % shards_.size()];
+}
+
+const BlockCache::Shard& BlockCache::shard_of(const Key& k) const noexcept {
+  return *shards_[KeyHash{}(k) % shards_.size()];
+}
+
+std::shared_ptr<const PageBuffer> BlockCache::get(const RandomAccessFile& file,
+                                                  std::uint64_t page_no) {
+  const Key key{file.dev(), file.ino(), page_no};
+
+  if (enabled()) {
+    Shard& s = shard_of(key);
+    {
+      const std::lock_guard<std::mutex> lock(s.mu);
+      const auto it = s.map.find(key);
+      if (it != s.map.end()) {
+        s.lru.splice(s.lru.begin(), s.lru, it->second);
+        hits_.fetch_add(1, std::memory_order_relaxed);
+        return it->second->page;
+      }
+    }
+  }
+
+  // Miss: read outside any lock. Env charges the page read here — cached
+  // hits above are free, matching the paper's cache-miss-only I/O counts.
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  auto page = std::make_shared<PageBuffer>();
+  file.read_page(page_no, *page);
+  if (!enabled()) return page;
+
+  Shard& s = shard_of(key);
+  const std::lock_guard<std::mutex> lock(s.mu);
+  const auto it = s.map.find(key);
+  if (it != s.map.end()) {
+    // A concurrent miss inserted while we were reading; the file is
+    // immutable so both copies are identical — keep the resident one.
+    s.lru.splice(s.lru.begin(), s.lru, it->second);
+    return it->second->page;
+  }
+  s.lru.push_front(Entry{key, page});
+  s.map.emplace(key, s.lru.begin());
+  entries_.fetch_add(1, std::memory_order_relaxed);
+  while (s.lru.size() > pages_per_shard_) {
+    s.map.erase(s.lru.back().key);
+    s.lru.pop_back();
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+    entries_.fetch_sub(1, std::memory_order_relaxed);
+  }
+  return page;
+}
+
+void BlockCache::erase_file(std::uint64_t dev, std::uint64_t ino) {
+  // O(resident pages), but only runs when a file's last link disappears —
+  // compaction and volume destruction, never the query hot path.
+  for (const auto& sp : shards_) {
+    Shard& s = *sp;
+    const std::lock_guard<std::mutex> lock(s.mu);
+    for (auto it = s.lru.begin(); it != s.lru.end();) {
+      if (it->key.dev == dev && it->key.ino == ino) {
+        s.map.erase(it->key);
+        it = s.lru.erase(it);
+        invalidations_.fetch_add(1, std::memory_order_relaxed);
+        entries_.fetch_sub(1, std::memory_order_relaxed);
+      } else {
+        ++it;
+      }
+    }
+  }
+}
+
+void BlockCache::clear() {
+  for (const auto& sp : shards_) {
+    Shard& s = *sp;
+    const std::lock_guard<std::mutex> lock(s.mu);
+    const std::uint64_t n = s.lru.size();
+    s.map.clear();
+    s.lru.clear();
+    invalidations_.fetch_add(n, std::memory_order_relaxed);
+    entries_.fetch_sub(n, std::memory_order_relaxed);
+  }
+}
+
+BlockCacheStats BlockCache::stats() const {
+  BlockCacheStats out;
+  out.hits = hits_.load(std::memory_order_relaxed);
+  out.misses = misses_.load(std::memory_order_relaxed);
+  out.evictions = evictions_.load(std::memory_order_relaxed);
+  out.invalidations = invalidations_.load(std::memory_order_relaxed);
+  out.entries = entries_.load(std::memory_order_relaxed);
+  out.bytes = out.entries * kPageSize;
+  out.capacity_bytes = capacity_bytes_;
+  out.shards = shards_.size();
+  return out;
+}
+
+}  // namespace backlog::storage

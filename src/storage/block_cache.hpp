@@ -1,0 +1,132 @@
+// BlockCache: the service-wide sharded page cache.
+//
+// One cache serves every hosted volume. Entries are keyed by the file's
+// (st_dev, st_ino) identity plus the page number, not by a per-Env handle
+// id: run files are immutable and copy-on-write clones hard-link them, so
+// two volumes reading the same shared run resolve to the same inode and
+// therefore the same cache entry — CoW sharing becomes cache dedup by
+// construction, with no cross-volume coordination.
+//
+// Concurrency: N mutex-striped shards, each an independent LRU with its own
+// slice of the byte budget. A lookup locks exactly one shard; the page read
+// on a miss happens *outside* the lock so a slow disk stalls only the ops
+// that need that very page, never the stripe. Hit/miss/eviction counters are
+// relaxed atomics (many shard threads bump them concurrently) and are
+// exported through the service MetricsRegistry as callback gauges.
+//
+// Invalidation: run files are immutable, so entries never go stale while
+// the file exists. The only hazard is inode recycling — a new file created
+// after the last hard link of a cached file is unlinked may reuse the
+// (dev, ino) pair. Env erases a file's entries when it removes the *last*
+// physical link (st_nlink == 1 at unlink time); links held by other volumes
+// keep the entries, which is exactly right because the bytes are still live.
+//
+// A capacity of zero disables caching entirely: every get() reads through
+// (counted as a miss) and stores nothing.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "storage/env.hpp"
+
+namespace backlog::storage {
+
+/// One cached 4 KB page.
+using PageBuffer = std::array<std::uint8_t, kPageSize>;
+
+/// Point-in-time counter snapshot; any thread may take one.
+struct BlockCacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;   ///< entries pushed out by the byte budget
+  std::uint64_t invalidations = 0;  ///< entries dropped by erase_file/clear
+  std::uint64_t entries = 0;     ///< resident pages
+  std::uint64_t bytes = 0;       ///< resident bytes (entries * page size)
+  std::uint64_t capacity_bytes = 0;
+  std::uint64_t shards = 0;
+
+  [[nodiscard]] double hit_ratio() const noexcept {
+    const std::uint64_t total = hits + misses;
+    return total == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(total);
+  }
+};
+
+class BlockCache {
+ public:
+  /// `capacity_bytes` is the total budget across all shards (rounded down to
+  /// whole pages per shard); 0 disables the cache. `shards` is clamped to at
+  /// least 1.
+  explicit BlockCache(std::uint64_t capacity_bytes, std::size_t shards = 16);
+
+  BlockCache(const BlockCache&) = delete;
+  BlockCache& operator=(const BlockCache&) = delete;
+
+  /// Return page `page_no` of `file`, from cache or by reading through.
+  /// The read happens outside the shard lock; concurrent misses on the same
+  /// page may each read it once (last insert wins — the pages are identical
+  /// because run files are immutable).
+  std::shared_ptr<const PageBuffer> get(const RandomAccessFile& file,
+                                        std::uint64_t page_no);
+
+  /// Drop every entry of the file identified by (dev, ino). Called by Env
+  /// when the last physical link of a file is unlinked (inode-recycling
+  /// hazard) — see the header comment.
+  void erase_file(std::uint64_t dev, std::uint64_t ino);
+
+  /// Drop everything (cold-cache experiments, §6.4; `backlogctl cache clear`).
+  void clear();
+
+  [[nodiscard]] BlockCacheStats stats() const;
+  [[nodiscard]] std::uint64_t capacity_bytes() const noexcept {
+    return capacity_bytes_;
+  }
+  [[nodiscard]] bool enabled() const noexcept { return capacity_bytes_ != 0; }
+
+ private:
+  struct Key {
+    std::uint64_t dev = 0;
+    std::uint64_t ino = 0;
+    std::uint64_t page_no = 0;
+
+    friend bool operator==(const Key&, const Key&) = default;
+  };
+
+  struct KeyHash {
+    std::size_t operator()(const Key& k) const noexcept;
+  };
+
+  struct Entry {
+    Key key;
+    std::shared_ptr<const PageBuffer> page;
+  };
+
+  /// One stripe: an independent LRU over its slice of the budget. Aligned
+  /// so two stripes' locks never share a cache line.
+  struct alignas(64) Shard {
+    std::mutex mu;
+    std::list<Entry> lru;  // front = most recent
+    std::unordered_map<Key, std::list<Entry>::iterator, KeyHash> map;
+  };
+
+  Shard& shard_of(const Key& k) noexcept;
+  const Shard& shard_of(const Key& k) const noexcept;
+
+  std::uint64_t capacity_bytes_;
+  std::size_t pages_per_shard_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> misses_{0};
+  std::atomic<std::uint64_t> evictions_{0};
+  std::atomic<std::uint64_t> invalidations_{0};
+  std::atomic<std::uint64_t> entries_{0};
+};
+
+}  // namespace backlog::storage

@@ -2,6 +2,7 @@
 
 #include <fcntl.h>
 #include <sys/resource.h>
+#include <sys/stat.h>
 #include <unistd.h>
 
 #include <algorithm>
@@ -12,6 +13,7 @@
 #include <stdexcept>
 #include <system_error>
 
+#include "storage/block_cache.hpp"
 #include "util/clock.hpp"
 
 static_assert(std::endian::native == std::endian::little,
@@ -65,8 +67,21 @@ Env::Env(std::filesystem::path root) : root_(std::move(root)) {
   (void)raised;
 }
 
+void Env::invalidate_cached_file(const std::filesystem::path& path,
+                                 bool last_link_only) noexcept {
+  if (block_cache_ == nullptr) return;
+  struct stat st{};
+  if (::stat(path.c_str(), &st) != 0) return;
+  if (last_link_only && st.st_nlink > 1) return;
+  block_cache_->erase_file(static_cast<std::uint64_t>(st.st_dev),
+                           static_cast<std::uint64_t>(st.st_ino));
+}
+
 std::unique_ptr<WritableFile> Env::create_file(const std::string& name) {
   if (fault_hook_) fault_hook_("create", name);
+  // O_TRUNC reuses the existing inode: stale pages of the old contents must
+  // not survive under the same (dev, ino) key.
+  invalidate_cached_file(full(name), /*last_link_only=*/false);
   ++stats_.files_created;
   return std::make_unique<WritableFile>(*this, full(name));
 }
@@ -100,6 +115,11 @@ std::uint64_t Env::file_size(const std::string& name) const {
 }
 
 void Env::delete_file(const std::string& name) {
+  // Removing the *last* hard link frees the inode for recycling; a later
+  // file may be handed the same (dev, ino) and would alias any cached pages
+  // left behind. Links held by other volumes (CoW-shared runs) keep the
+  // entries alive — the bytes are still live there.
+  invalidate_cached_file(full(name), /*last_link_only=*/true);
   if (!std::filesystem::remove(full(name))) {
     throw std::runtime_error("delete_file: no such file: " + name);
   }
@@ -107,6 +127,9 @@ void Env::delete_file(const std::string& name) {
 }
 
 void Env::rename_file(const std::string& from, const std::string& to) {
+  // rename over an existing target unlinks the target exactly like
+  // delete_file would.
+  invalidate_cached_file(full(to), /*last_link_only=*/true);
   std::filesystem::rename(full(from), full(to));
 }
 
@@ -205,6 +228,10 @@ RandomAccessFile::RandomAccessFile(Env& env, const std::filesystem::path& path,
   if (sz < 0) throw_errno("lseek");
   size_ = static_cast<std::uint64_t>(sz);
   id_ = env.next_file_id_++;
+  struct stat st{};
+  if (::fstat(fd_, &st) < 0) throw_errno("fstat: " + path.string());
+  dev_ = static_cast<std::uint64_t>(st.st_dev);
+  ino_ = static_cast<std::uint64_t>(st.st_ino);
 }
 
 RandomAccessFile::~RandomAccessFile() {

@@ -4,8 +4,8 @@
 // operation" (Fig. 5/7).
 //
 // Files are accessed through RAII wrappers; an Env owns an IoStats block that
-// the wrappers update. Reads performed through a PageCache (see
-// page_cache.hpp) are only charged on cache miss, mirroring the paper's
+// the wrappers update. Reads performed through the BlockCache (see
+// block_cache.hpp) are only charged on cache miss, mirroring the paper's
 // 32 MB query cache setup (§6.1).
 #pragma once
 
@@ -79,6 +79,7 @@ static_assert(sizeof(IoStats) == 9 * sizeof(std::uint64_t),
 
 class WritableFile;
 class RandomAccessFile;
+class BlockCache;
 
 /// A directory-rooted storage environment with shared I/O accounting.
 /// Not thread-safe; each simulated volume owns one Env.
@@ -146,6 +147,18 @@ class Env {
   /// Names (not paths) of regular files directly under the root, sorted.
   [[nodiscard]] std::vector<std::string> list_files() const;
 
+  /// Attach the (service-shared) block cache so this Env can invalidate
+  /// cached pages when an inode becomes eligible for recycling: deleting a
+  /// file's *last* physical link, truncating an existing file in place, or
+  /// renaming over an existing target all erase the affected (dev, ino)
+  /// from the cache. Borrowed; must outlive the Env. Null (the default)
+  /// disables invalidation — correct only when nothing reads this Env's
+  /// files through a cache.
+  void set_block_cache(BlockCache* cache) noexcept { block_cache_ = cache; }
+  [[nodiscard]] BlockCache* block_cache() const noexcept {
+    return block_cache_;
+  }
+
  private:
   friend class WritableFile;
   friend class RandomAccessFile;
@@ -154,11 +167,20 @@ class Env {
     return root_ / name;
   }
 
+  /// If `path` names an existing file whose link being removed (or whose
+  /// contents being replaced in place) would orphan cached pages, erase its
+  /// (dev, ino) from the attached block cache. `last_link_only` restricts
+  /// the erase to st_nlink == 1 — a file still hard-linked elsewhere keeps
+  /// its entries, because the bytes stay live under the other links.
+  void invalidate_cached_file(const std::filesystem::path& path,
+                              bool last_link_only) noexcept;
+
   std::filesystem::path root_;
   IoStats stats_;
   FaultHook fault_hook_;
   std::uint64_t next_file_id_ = 1;
   bool sync_enabled_ = true;
+  BlockCache* block_cache_ = nullptr;
 };
 
 /// Append-only file handle. Page-write accounting: every append charges the
@@ -211,8 +233,14 @@ class RandomAccessFile {
     return (size_ + kPageSize - 1) / kPageSize;
   }
 
-  /// Unique id within this Env (PageCache key component).
+  /// Unique id within this Env (legacy cache key; kept for diagnostics).
   [[nodiscard]] std::uint64_t id() const noexcept { return id_; }
+
+  /// Filesystem identity of the open file, captured by fstat at open. Two
+  /// hard links to the same file — a run shared by CoW clones — report the
+  /// same (dev, ino), which is what the service-wide BlockCache keys on.
+  [[nodiscard]] std::uint64_t dev() const noexcept { return dev_; }
+  [[nodiscard]] std::uint64_t ino() const noexcept { return ino_; }
 
  private:
   Env& env_;
@@ -220,6 +248,8 @@ class RandomAccessFile {
   bool writable_ = false;
   std::uint64_t size_ = 0;
   std::uint64_t id_ = 0;
+  std::uint64_t dev_ = 0;
+  std::uint64_t ino_ = 0;
 };
 
 /// RAII temporary directory for tests and benches.

@@ -68,7 +68,7 @@ TEST_P(RunFileSizes, RoundTripAndLowerBound) {
   const std::uint64_t n = GetParam();
   bs::TempDir dir;
   bs::Env env(dir.path());
-  bs::PageCache cache(1024);
+  bs::BlockCache cache(1024 * bs::kPageSize);
   write_run(env, "r.run", n, /*base=*/10, /*stride=*/3);
   bl::RunFile run(env, "r.run", cache);
   EXPECT_EQ(run.record_count(), n);
@@ -115,7 +115,7 @@ TEST_P(RunFileSizes, RoundTripAndLowerBound) {
 TEST(RunFile, SeekStreamsFromPrefix) {
   bs::TempDir dir;
   bs::Env env(dir.path());
-  bs::PageCache cache(1024);
+  bs::BlockCache cache(1024 * bs::kPageSize);
   write_run(env, "r.run", 1000, 0, 2);  // keys 0,2,...,1998
   bl::RunFile run(env, "r.run", cache);
   std::uint8_t p[8];
@@ -136,7 +136,7 @@ TEST(RunFile, RejectsUnsortedInput) {
 TEST(RunFile, DuplicateKeysAllowed) {
   bs::TempDir dir;
   bs::Env env(dir.path());
-  bs::PageCache cache(64);
+  bs::BlockCache cache(64 * bs::kPageSize);
   bl::RunWriter w(env, "r.run", kRec, 10);
   w.add(rec(7, 1), 7);
   w.add(rec(7, 2), 7);
@@ -153,7 +153,7 @@ TEST(RunFile, DuplicateKeysAllowed) {
 TEST(RunFile, BloomFilterSkipsAbsentKeys) {
   bs::TempDir dir;
   bs::Env env(dir.path());
-  bs::PageCache cache(64);
+  bs::BlockCache cache(64 * bs::kPageSize);
   write_run(env, "r.run", 1000, 0, 10);  // keys 0,10,20,...
   bl::RunFile run(env, "r.run", cache);
   for (std::uint64_t k = 0; k < 10000; k += 10) {
@@ -169,7 +169,7 @@ TEST(RunFile, BloomFilterSkipsAbsentKeys) {
 TEST(RunFile, BloomShrinksForSmallRuns) {
   bs::TempDir dir;
   bs::Env env(dir.path());
-  bs::PageCache cache(64);
+  bs::BlockCache cache(64 * bs::kPageSize);
   // expected 32000 keys but only 10 added: filter must have been halved down.
   bl::RunWriter w(env, "r.run", kRec, 32000);
   for (std::uint64_t i = 0; i < 10; ++i) w.add(rec(i), i);
@@ -192,7 +192,7 @@ TEST(RunFile, WriterProducesNoReads) {
 TEST(RunFile, StreamFromMidpoint) {
   bs::TempDir dir;
   bs::Env env(dir.path());
-  bs::PageCache cache(64);
+  bs::BlockCache cache(64 * bs::kPageSize);
   write_run(env, "r.run", 1000);
   bl::RunFile run(env, "r.run", cache);
   auto s = run.stream_from(990);
@@ -212,7 +212,7 @@ TEST(VectorStream, BasicIteration) {
 TEST(Merge, InterleavesSortedInputs) {
   bs::TempDir dir;
   bs::Env env(dir.path());
-  bs::PageCache cache(64);
+  bs::BlockCache cache(64 * bs::kPageSize);
   write_run(env, "a.run", 100, 0, 3);   // 0,3,6,...
   write_run(env, "b.run", 100, 1, 3);   // 1,4,7,...
   write_run(env, "c.run", 100, 2, 3);   // 2,5,8,...
@@ -382,7 +382,7 @@ TEST(RunFile, CorruptFooterFieldsRejected) {
     std::filesystem::copy_file(pristine, file,
                                std::filesystem::copy_options::overwrite_existing);
     poke_u64(file, fs + field, value);
-    bs::PageCache cache(16);
+    bs::BlockCache cache(16 * bs::kPageSize);
     EXPECT_THROW(bl::RunFile(env, "r.run", cache), std::runtime_error)
         << "field offset " << field << " value " << value;
   };
@@ -403,7 +403,7 @@ TEST(RunFile, CorruptFooterFieldsRejected) {
   // And the pristine file still opens after all that.
   std::filesystem::copy_file(pristine, file,
                              std::filesystem::copy_options::overwrite_existing);
-  bs::PageCache cache(16);
+  bs::BlockCache cache(16 * bs::kPageSize);
   bl::RunFile run(env, "r.run", cache);
   EXPECT_EQ(run.record_count(), 600u);
 }
@@ -429,7 +429,7 @@ TEST(RunFile, FooterBitFlipsNeverCrash) {
       std::filesystem::copy_file(
           pristine, file, std::filesystem::copy_options::overwrite_existing);
       flip_bit(file, fs + off, bit);
-      bs::PageCache cache(16);
+      bs::BlockCache cache(16 * bs::kPageSize);
       try {
         bl::RunFile run(env, "r.run", cache);
         auto s = run.seek(rec(100));

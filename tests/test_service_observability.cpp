@@ -450,7 +450,12 @@ TEST(Observability, SlowOpCapturesInjectedEnvDelay) {
   // fits inside the caller-observed wall time.
   EXPECT_GE(s.execute_micros, kDelayMicros);
   EXPECT_LE(s.end_to_end_micros(), wall);
-  EXPECT_GE(10 * s.end_to_end_micros(), 9 * wall);  // within 10% of e2e wall
+  // Within 10% of the caller-observed wall, modulo scheduler noise: `wall`
+  // also contains the future-wakeup hop back to this thread, which on an
+  // oversubscribed host (parallel ctest on few cores) can alone add
+  // milliseconds the span legitimately does not cover.
+  constexpr std::uint64_t kSchedSlackMicros = 20000;
+  EXPECT_GE(10 * (s.end_to_end_micros() + kSchedSlackMicros), 9 * wall);
   // The sync CP did real IO under the span.
   EXPECT_GT(s.io_micros, 0u);
   EXPECT_EQ(vm.metrics().counter("backlog_slow_ops_total", "").total(), 1u);
@@ -517,19 +522,24 @@ TEST(Observability, GateWaitStageSplitsFromQueueWait) {
   bsvc::VolumeManager vm(o);
   vm.open_volume("alice");
 
-  // Tiny bucket: the second apply must wait at the gate for a refill.
+  // Tiny bucket: an apply issued right after the burst is spent must wait
+  // at the gate for a refill. On an oversubscribed host this thread can be
+  // descheduled past the refill between the two applies (token back, no
+  // wait, no gated span), so use a wide 20 ms refill window and retry the
+  // pair until a gated span shows up.
   bsvc::TenantQos qos;
-  qos.ops_per_sec = 1000;
+  qos.ops_per_sec = 50;
   qos.burst_ops = 1;
   vm.set_qos("alice", qos);
-  vm.apply("alice", {add(1)}).get();  // spends the burst
-  vm.apply("alice", {add(2)}).get();  // throttled: waits ~1 ms for a token
-
   bool saw_gated = false;
-  for (const auto& s : spans_of(vm.trace_spans(), bsvc::TraceVerb::kApply)) {
-    EXPECT_EQ(s.gate_wait_micros + s.queue_wait_micros + s.execute_micros,
-              s.end_to_end_micros());
-    if (s.gate_wait_micros > 0) saw_gated = true;
+  for (bc::BlockNo b = 1; b < 20 && !saw_gated; b += 2) {
+    vm.apply("alice", {add(b)}).get();      // spends the burst
+    vm.apply("alice", {add(b + 1)}).get();  // throttled: waits for a token
+    for (const auto& s : spans_of(vm.trace_spans(), bsvc::TraceVerb::kApply)) {
+      EXPECT_EQ(s.gate_wait_micros + s.queue_wait_micros + s.execute_micros,
+                s.end_to_end_micros());
+      if (s.gate_wait_micros > 0) saw_gated = true;
+    }
   }
   EXPECT_TRUE(saw_gated);
   const bsvc::ServiceStats stats = vm.stats();

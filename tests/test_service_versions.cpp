@@ -261,6 +261,14 @@ TEST_P(ServiceVersions, RandomizedVerbsMatchNaiveModel) {
   so.root = dir.path() / "service";
   so.db_options.expected_ops_per_cp = 512;
   so.sync_writes = false;
+  // Adversarial cache config: a 4-page shared block cache (across 2 stripes)
+  // keeps every volume's reads in constant eviction, and 2-entry result
+  // caches churn through epoch-tag invalidation on every snapshot/clone/
+  // migrate/maintenance verb — any stale page or stale result the caches
+  // ever serve shows up as a model divergence below.
+  so.cache.capacity_bytes = 4 * bs::kPageSize;
+  so.cache.block_cache_shards = 2;
+  so.cache.result_cache_entries = 2;
   bsvc::VolumeManager vm(so);
 
   // The autonomous rebalancer races every verb below. Clean-only moves

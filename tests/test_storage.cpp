@@ -1,12 +1,12 @@
-// Tests for the storage layer: Env I/O accounting, page cache, B+-tree.
+// Tests for the storage layer: Env I/O accounting, block cache, B+-tree.
 #include <gtest/gtest.h>
 
 #include <map>
 #include <vector>
 
+#include "storage/block_cache.hpp"
 #include "storage/btree.hpp"
 #include "storage/env.hpp"
-#include "storage/page_cache.hpp"
 #include "util/random.hpp"
 #include "util/serde.hpp"
 
@@ -116,7 +116,7 @@ TEST(Env, OpenMissingFileThrows) {
   EXPECT_THROW(env.delete_file("nope"), std::runtime_error);
 }
 
-TEST(PageCache, HitsAvoidIo) {
+TEST(BlockCache, HitsAvoidIo) {
   bs::TempDir dir;
   bs::Env env(dir.path());
   {
@@ -127,7 +127,7 @@ TEST(PageCache, HitsAvoidIo) {
     f->append(data);
   }
   auto f = env.open_file("c.bin");
-  bs::PageCache cache(16);
+  bs::BlockCache cache(16 * bs::kPageSize, /*shards=*/1);
   const auto before = env.stats();
   auto p0 = cache.get(*f, 0);
   EXPECT_EQ((*p0)[0], 0);
@@ -137,11 +137,11 @@ TEST(PageCache, HitsAvoidIo) {
   // Second access: cache hit, no additional I/O.
   auto p0b = cache.get(*f, 0);
   EXPECT_EQ((env.stats() - before).page_reads, 2u);
-  EXPECT_EQ(cache.hits(), 1u);
-  EXPECT_EQ(cache.misses(), 2u);
+  EXPECT_EQ(cache.stats().hits, 1u);
+  EXPECT_EQ(cache.stats().misses, 2u);
 }
 
-TEST(PageCache, EvictsLruAtCapacity) {
+TEST(BlockCache, EvictsLruAtCapacity) {
   bs::TempDir dir;
   bs::Env env(dir.path());
   {
@@ -150,17 +150,18 @@ TEST(PageCache, EvictsLruAtCapacity) {
     f->append(data);
   }
   auto f = env.open_file("c.bin");
-  bs::PageCache cache(2);
+  bs::BlockCache cache(2 * bs::kPageSize, /*shards=*/1);
   cache.get(*f, 0);
   cache.get(*f, 1);
   cache.get(*f, 2);  // evicts page 0
-  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.stats().entries, 2u);
+  EXPECT_EQ(cache.stats().evictions, 1u);
   const auto before = env.stats();
   cache.get(*f, 0);  // miss again
   EXPECT_EQ((env.stats() - before).page_reads, 1u);
 }
 
-TEST(PageCache, ClearAndErase) {
+TEST(BlockCache, ClearAndEraseFile) {
   bs::TempDir dir;
   bs::Env env(dir.path());
   {
@@ -169,17 +170,18 @@ TEST(PageCache, ClearAndErase) {
     f->append(data);
   }
   auto f = env.open_file("c.bin");
-  bs::PageCache cache(8);
+  bs::BlockCache cache(8 * bs::kPageSize, /*shards=*/1);
   cache.get(*f, 0);
   cache.get(*f, 1);
-  cache.erase_file(f->id());
-  EXPECT_EQ(cache.size(), 0u);
+  cache.erase_file(f->dev(), f->ino());
+  EXPECT_EQ(cache.stats().entries, 0u);
+  EXPECT_EQ(cache.stats().invalidations, 2u);
   cache.get(*f, 0);
   cache.clear();
-  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.stats().entries, 0u);
 }
 
-TEST(PageCache, ZeroCapacityAlwaysReads) {
+TEST(BlockCache, ZeroCapacityAlwaysReads) {
   bs::TempDir dir;
   bs::Env env(dir.path());
   {
@@ -188,11 +190,70 @@ TEST(PageCache, ZeroCapacityAlwaysReads) {
     f->append(data);
   }
   auto f = env.open_file("c.bin");
-  bs::PageCache cache(0);
+  bs::BlockCache cache(0);
+  EXPECT_FALSE(cache.enabled());
   const auto before = env.stats();
   cache.get(*f, 0);
   cache.get(*f, 0);
   EXPECT_EQ((env.stats() - before).page_reads, 2u);
+  EXPECT_EQ(cache.stats().entries, 0u);
+}
+
+TEST(BlockCache, HardLinksShareEntriesAcrossEnvs) {
+  // The CoW-clone payoff: two volumes hard-linking the same run file get
+  // one cache entry per page, because the key is (device, inode, page), not
+  // the opening Env or path.
+  bs::TempDir dir_a;
+  bs::TempDir dir_b;
+  bs::Env env_a(dir_a.path());
+  bs::Env env_b(dir_b.path());
+  {
+    auto f = env_a.create_file("shared.run");
+    std::vector<std::uint8_t> data(2 * bs::kPageSize, 0x5e);
+    f->append(data);
+    f->sync();
+  }
+  env_a.link_file_to("shared.run", dir_b.path());
+  auto fa = env_a.open_file("shared.run");
+  auto fb = env_b.open_file("shared.run");
+  EXPECT_EQ(fa->ino(), fb->ino());
+  bs::BlockCache cache(16 * bs::kPageSize, /*shards=*/1);
+  cache.get(*fa, 0);
+  const auto before = env_b.stats();
+  auto p = cache.get(*fb, 0);  // hit: same (dev, ino, page)
+  EXPECT_EQ((*p)[0], 0x5e);
+  EXPECT_EQ((env_b.stats() - before).page_reads, 0u);
+  EXPECT_EQ(cache.stats().hits, 1u);
+  EXPECT_EQ(cache.stats().entries, 1u);
+}
+
+TEST(BlockCache, EnvUnlinkInvalidatesLastLinkOnly) {
+  // Deleting one of two hard links keeps the pages (the bytes are still
+  // live under the other link); deleting the last link drops them, so a
+  // recycled inode can never serve another file's stale bytes.
+  bs::TempDir dir_a;
+  bs::TempDir dir_b;
+  bs::Env env_a(dir_a.path());
+  bs::Env env_b(dir_b.path());
+  bs::BlockCache cache(16 * bs::kPageSize, /*shards=*/1);
+  env_a.set_block_cache(&cache);
+  env_b.set_block_cache(&cache);
+  {
+    auto f = env_a.create_file("shared.run");
+    std::vector<std::uint8_t> data(bs::kPageSize, 0x11);
+    f->append(data);
+    f->sync();
+  }
+  env_a.link_file_to("shared.run", dir_b.path());
+  {
+    auto f = env_a.open_file("shared.run");
+    cache.get(*f, 0);
+  }
+  env_a.delete_file("shared.run");  // nlink 2 -> 1: entries survive
+  EXPECT_EQ(cache.stats().entries, 1u);
+  env_b.delete_file("shared.run");  // last link: entries dropped
+  EXPECT_EQ(cache.stats().entries, 0u);
+  EXPECT_EQ(cache.stats().invalidations, 1u);
 }
 
 // --- B+-tree -----------------------------------------------------------------

@@ -57,6 +57,17 @@
 //                                          and print the merged ServiceStats
 //                                          (per-tenant table, or one JSON
 //                                          object with --json)
+//   backlogctl cache <root> [shards] [--json]
+//                                          open every volume under <root>
+//                                          and print the shared block
+//                                          cache's counters plus each
+//                                          volume's result-cache counters
+//   backlogctl cache clear <root> [shards]
+//                                          drop every cached page and
+//                                          cached query result (the
+//                                          paper's cold-cache lever,
+//                                          fleet-wide), then print the
+//                                          report
 //   backlogctl metrics <root> [shards] [--prom|--json] [--watch N]
 //                                          open every volume, pulse a
 //                                          synthetic load through the
@@ -124,8 +135,8 @@ namespace {
 int usage() {
   std::fprintf(stderr,
                "usage: backlogctl <info|runs|query|raw|scan|maintain|dump-run|"
-               "stress|snap|clone|destroy|migrate|qos|balance|stats|metrics|"
-               "trace> <dir> [args]\n"
+               "stress|snap|clone|destroy|migrate|qos|balance|stats|cache|"
+               "metrics|trace> <dir> [args]\n"
                "       backlogctl query|raw <dir> <block> [count]\n"
                "       backlogctl dump-run <dir> <file>\n"
                "       backlogctl stress <dir> <tenants> <ops> [shards] [--batch N]\n"
@@ -138,6 +149,8 @@ int usage() {
                "<bytes-per-sec> [ops]\n"
                "       backlogctl balance <root> <shards> [cycles]\n"
                "       backlogctl stats <root> [shards] [--json]\n"
+               "       backlogctl cache <root> [shards] [--json]\n"
+               "       backlogctl cache clear <root> [shards]\n"
                "       backlogctl metrics <root> [shards] [--prom|--json] "
                "[--watch N]\n"
                "       backlogctl trace <root> <tenants> <ops> [shards] "
@@ -498,6 +511,23 @@ int cmd_stats(const char* root, std::size_t shards, bool json) {
   service::VolumeManager vm(service_options(root, shards));
   for (const auto& t : tenants) vm.open_volume(t);
   std::fputs(net::render_stats(vm.stats(), json).c_str(), stdout);
+  for (const auto& t : tenants) vm.close_volume(t);
+  return 0;
+}
+
+int cmd_cache(const char* root, std::size_t shards, bool json, bool clear) {
+  const std::vector<std::string> tenants = discover_tenants(root);
+  if (tenants.empty()) {
+    std::fprintf(stderr, "backlogctl: no volumes under %s\n", root);
+    return 1;
+  }
+  service::VolumeManager vm(service_options(root, shards));
+  for (const auto& t : tenants) vm.open_volume(t);
+  if (clear) {
+    vm.clear_caches();
+    std::fputs("caches cleared\n", stdout);
+  }
+  std::fputs(net::render_cache(vm.cache_stats(), json).c_str(), stdout);
   for (const auto& t : tenants) vm.close_volume(t);
   return 0;
 }
@@ -1038,6 +1068,33 @@ int remote_main(const std::string& host, std::uint16_t port, int argc,
       c.connect(host, port);
       return rcmd_metrics(c, host, port, json, watch);
     }
+    if (cmd == "cache") {
+      // Same shapes as the local form; <root> is kept for symmetry but the
+      // daemon operates on its own root.
+      const bool clear = argc > 2 && std::strcmp(argv[2], "clear") == 0;
+      const int root_at = clear ? 3 : 2;
+      if (argc <= root_at) return usage();
+      std::uint64_t shards = 1;
+      bool json = false, have_shards = false;
+      for (int i = root_at + 1; i < argc; ++i) {
+        if (!clear && std::strcmp(argv[i], "--json") == 0 && !json) {
+          json = true;
+        } else if (!have_shards && parse_u64(argv[i], shards, 1, 1024)) {
+          have_shards = true;
+        } else {
+          return usage();
+        }
+      }
+      (void)shards;
+      net::Client c;
+      c.connect(host, port);
+      if (clear) {
+        c.cache_clear();
+        std::fputs("caches cleared\n", stdout);
+      }
+      std::fputs(c.cache_text(json).c_str(), stdout);
+      return 0;
+    }
     if (cmd == "trace") {
       std::uint64_t tenants = 0, ops = 0, shards = 2, sample = 1,
                     slow_us = 1000;
@@ -1120,7 +1177,7 @@ int main(int argc, char** argv) {
   // invocation is a usage error (exit 2), never a half-parsed run.
   if (cmd == "stress" || cmd == "snap" || cmd == "clone" || cmd == "destroy" ||
       cmd == "migrate" || cmd == "qos" || cmd == "balance" || cmd == "stats" ||
-      cmd == "metrics" || cmd == "trace") {
+      cmd == "metrics" || cmd == "trace" || cmd == "cache") {
     try {
       if (cmd == "stress") {
         // Trailing option: --batch N routes the replay through apply_batch
@@ -1213,6 +1270,25 @@ int main(int argc, char** argv) {
           }
         }
         return cmd_metrics(argv[2], shards, json, watch);
+      }
+      if (cmd == "cache") {
+        // cache <root> [shards] [--json]   — print the cache report
+        // cache clear <root> [shards]      — cold-cache the whole service
+        const bool clear = argc > 2 && std::strcmp(argv[2], "clear") == 0;
+        const int root_at = clear ? 3 : 2;
+        if (argc <= root_at) return usage();
+        std::uint64_t shards = 1;
+        bool json = false, have_shards = false;
+        for (int i = root_at + 1; i < argc; ++i) {
+          if (!clear && std::strcmp(argv[i], "--json") == 0 && !json) {
+            json = true;
+          } else if (!have_shards && parse_u64(argv[i], shards, 1, 1024)) {
+            have_shards = true;
+          } else {
+            return usage();
+          }
+        }
+        return cmd_cache(argv[root_at], shards, json, clear);
       }
       if (cmd == "trace") {
         std::uint64_t tenants = 0, ops = 0, shards = 2, sample = 1,

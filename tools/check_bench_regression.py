@@ -202,6 +202,63 @@ def check_dispatch_vs_baseline(base_rows, cur_rows, max_ratio=1.2):
     return []
 
 
+def check_cache_hit(rows, max_p99_ratio=1.2, p99_slack_us=50):
+    """Shared-block-cache gate on the cache_hit bench of the current run
+    alone (self-skips when the capture has no cache_hit rows). Both
+    properties compare two same-machine, same-budget measurements, so
+    runner speed cancels out:
+
+      * hit ratio: at a matched total byte budget on the clone-heavy
+        fleet, the shared (dev,ino)-keyed cache must *strictly* beat the
+        per-volume split — CoW clones hard-link the same run files, so
+        dedup by construction is the whole point of sharing;
+      * query p99: the shared cache's striped locking may not cost more
+        than `max_p99_ratio` of the per-volume baseline's tail latency.
+        Warm-cache p99s sit in single-digit microseconds, where one
+        scheduler blip flips any pure ratio, so the gate also requires the
+        absolute gap to exceed `p99_slack_us` — a real regression (lock
+        convoy, thrash) shows up in the hundreds of µs, far past both."""
+    cache = [r for r in rows if r.get("bench") == "cache_hit"]
+    failures = []
+    if not cache:
+        return failures
+    by_mode = {r.get("mode"): r for r in cache}
+    shared, pervol = by_mode.get("shared"), by_mode.get("pervol")
+    if not shared or not pervol:
+        print("note: cache_hit capture lacks a shared/pervol pair — "
+              "cache gate skipped")
+        return failures
+    if (shared.get("budget_bytes") != pervol.get("budget_bytes")
+            or shared.get("volumes") != pervol.get("volumes")):
+        print("note: cache_hit modes ran unmatched configs — cache gate "
+              "skipped")
+        return failures
+
+    s_ratio, p_ratio = shared.get("hit_ratio", 0), pervol.get("hit_ratio", 0)
+    status = "FAIL" if s_ratio <= p_ratio else "ok"
+    print(f"{status}: cache_hit hit ratio at matched budget: shared "
+          f"{s_ratio:.3f} vs per-volume {p_ratio:.3f} (gate: strictly "
+          f"greater)")
+    if s_ratio <= p_ratio:
+        failures.append(
+            f"shared cache hit ratio {s_ratio:.3f} <= per-volume "
+            f"{p_ratio:.3f} at matched budget")
+
+    s_p99, p_p99 = shared.get("query_p99_us", 0), pervol.get("query_p99_us", 0)
+    if p_p99 > 0:
+        ratio = s_p99 / p_p99
+        bad = ratio > max_p99_ratio and s_p99 - p_p99 > p99_slack_us
+        status = "FAIL" if bad else "ok"
+        print(f"{status}: cache_hit query p99: shared {s_p99} us vs "
+              f"per-volume {p_p99} us = {ratio:.2f}x "
+              f"(gate <= {max_p99_ratio}x beyond {p99_slack_us} us slack)")
+        if bad:
+            failures.append(
+                f"shared cache query p99 {ratio:.2f}x the per-volume "
+                f"baseline (> {max_p99_ratio}x + {p99_slack_us} us)")
+    return failures
+
+
 def check_net_loopback(rows, min_wire_fraction=0.10, min_batch_speedup=3.0):
     """Wire-protocol overhead gate on the net_loopback bench of the current
     run alone (self-skips when the capture has no net_loopback rows). Both
@@ -320,6 +377,7 @@ def main():
     failures.extend(check_dispatch_overhead(cur_rows))
     failures.extend(check_dispatch_vs_baseline(base_rows, cur_rows))
     failures.extend(check_net_loopback(cur_rows))
+    failures.extend(check_cache_hit(cur_rows))
 
     if checked == 0:
         sys.exit("error: no comparable rows between baseline and current run")
