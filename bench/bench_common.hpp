@@ -15,6 +15,7 @@
 #include "fsim/fsim.hpp"
 #include "fsim/workload.hpp"
 #include "storage/env.hpp"
+#include "util/json.hpp"
 
 namespace backlog::bench {
 
@@ -83,9 +84,12 @@ class JsonRow {
   JsonRow& str(const char* key, const std::string& value) {
     sep();
     body_ += '"';
-    body_ += key;
+    body_ += key;  // keys are compile-time literals: plain identifiers
     body_ += "\":\"";
-    body_ += value;  // keys/values are bench-controlled: no escaping needed
+    // Values reach here from user-controlled surfaces (tenant and scenario
+    // names in fleet_sim rows), so they are escaped: a name with a quote or
+    // backslash must still parse as JSON downstream.
+    body_ += util::json_escape(value);
     body_ += '"';
     return *this;
   }

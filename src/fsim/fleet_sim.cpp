@@ -1,0 +1,109 @@
+#include "fsim/fleet_sim.hpp"
+
+#include <cmath>
+
+#include "util/random.hpp"
+
+namespace backlog::fsim {
+
+const char* to_string(QosClass c) noexcept {
+  switch (c) {
+    case QosClass::kGold: return "gold";
+    case QosClass::kSilver: return "silver";
+    case QosClass::kBronze: return "bronze";
+  }
+  return "unknown";
+}
+
+QosClass class_of_tenant(std::size_t index) noexcept {
+  switch (index % 8) {
+    case 0: return QosClass::kGold;
+    case 1:
+    case 2:
+    case 3: return QosClass::kSilver;
+    default: return QosClass::kBronze;
+  }
+}
+
+std::uint32_t weight_of(QosClass c) noexcept {
+  switch (c) {
+    case QosClass::kGold: return 8;
+    case QosClass::kSilver: return 4;
+    case QosClass::kBronze: return 1;
+  }
+  return 1;
+}
+
+SloPolicy default_slo(QosClass c) noexcept {
+  switch (c) {
+    case QosClass::kGold: return {25'000};
+    case QosClass::kSilver: return {100'000};
+    case QosClass::kBronze: return {400'000};
+  }
+  return {400'000};
+}
+
+std::array<SloPolicy, kQosClasses> default_slo_table() noexcept {
+  return {default_slo(QosClass::kGold), default_slo(QosClass::kSilver),
+          default_slo(QosClass::kBronze)};
+}
+
+SloVerdict evaluate_slo(QosClass cls,
+                        const service::LatencyHistogram& queue_wait,
+                        const SloPolicy& policy) noexcept {
+  SloVerdict v;
+  v.cls = cls;
+  v.samples = queue_wait.count();
+  v.p99_micros = queue_wait.p99();
+  v.target_micros = policy.p99_queue_wait_micros;
+  v.pass = v.samples == 0 || v.p99_micros <= v.target_micros;
+  return v;
+}
+
+std::vector<SloVerdict> evaluate_fleet_slo(
+    const service::ServiceStats& stats,
+    const std::function<std::optional<QosClass>(const std::string&)>& class_of,
+    const std::array<SloPolicy, kQosClasses>& policies) {
+  std::array<service::LatencyHistogram, kQosClasses> merged{};
+  for (const auto& [tenant, ts] : stats.tenants) {
+    const std::optional<QosClass> cls = class_of(tenant);
+    if (!cls) continue;
+    merged[static_cast<std::size_t>(*cls)].merge(ts.queue_wait_micros);
+  }
+  std::vector<SloVerdict> out;
+  out.reserve(kQosClasses);
+  for (std::size_t i = 0; i < kQosClasses; ++i) {
+    out.push_back(
+        evaluate_slo(static_cast<QosClass>(i), merged[i], policies[i]));
+  }
+  return out;
+}
+
+std::vector<ArrivalEvent> build_arrival_schedule(
+    const OpenLoopOptions& options) {
+  std::vector<ArrivalEvent> out;
+  if (options.tenants == 0 || options.arrivals_per_sec <= 0.0 ||
+      options.duration_micros == 0) {
+    return out;
+  }
+  out.reserve(static_cast<std::size_t>(
+      options.arrivals_per_sec *
+          (static_cast<double>(options.duration_micros) / 1e6) +
+      16));
+  util::Rng rng(options.seed);
+  const util::ZipfSampler zipf(options.tenants, options.zipf_alpha);
+  const double mean_gap_micros = 1e6 / options.arrivals_per_sec;
+  double t = 0.0;
+  for (;;) {
+    // Exponential inter-arrival gap: -ln(1-U) * mean. uniform() lies in
+    // [0, 1), so 1-U is in (0, 1] and the log is finite; gaps of zero
+    // micros (sub-microsecond bursts) are legal and kept.
+    t += -std::log(1.0 - rng.uniform()) * mean_gap_micros;
+    if (t >= static_cast<double>(options.duration_micros)) break;
+    const auto tenant = static_cast<std::uint32_t>(zipf.sample(rng) - 1);
+    out.push_back({static_cast<std::uint64_t>(t), tenant});
+  }
+  return out;
+}
+
+}  // namespace backlog::fsim

@@ -1,0 +1,118 @@
+// Fleet-scale open-loop scenario machinery (the ROADMAP's fleet_sim item).
+//
+// The closed-loop drivers in this tree (replay_concurrently, the bench
+// sweeps) block on each future before issuing the next batch, so when the
+// service slows down the *offered load drops with it* and queueing delay is
+// silently absorbed by the stalled driver — the classic coordinated-
+// omission trap. The open-loop generator here fixes the arrival process
+// instead: a Poisson schedule (exponential inter-arrival gaps at a fixed
+// rate) with Zipf-distributed tenant selection is computed up front, and
+// the dispatcher submits each arrival at its scheduled instant whether or
+// not earlier work has completed. Under overload the backlog then grows in
+// the service's queues, where the PR 6 queue-wait histograms measure it
+// honestly.
+//
+// The SLO half maps tenants onto three QoS classes (gold/silver/bronze),
+// each with a p99 queue-wait ceiling, and judges a fleet by merging the
+// per-tenant `queue_wait_micros` histograms from ServiceStats per class.
+// Everything in this header is deterministic and service-free, so the unit
+// tests can pin exact schedules and verdicts; bench/fleet_sim.cpp supplies
+// the driver, the chaos actor, and the JSONROW reporting.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "service/service_stats.hpp"
+
+namespace backlog::fsim {
+
+// --- QoS classes and SLO policies --------------------------------------------
+
+/// Service classes of the simulated fleet, best to worst.
+enum class QosClass : std::uint8_t { kGold = 0, kSilver = 1, kBronze = 2 };
+
+inline constexpr std::size_t kQosClasses = 3;
+
+[[nodiscard]] const char* to_string(QosClass c) noexcept;
+
+/// Deterministic class of tenant `index`: 1/8 gold, 3/8 silver, 1/2 bronze
+/// (index mod 8 -> {0}=gold, {1,2,3}=silver, rest bronze). Stable across
+/// runs so schedules, weights and verdicts reproduce from a seed alone.
+[[nodiscard]] QosClass class_of_tenant(std::size_t index) noexcept;
+
+/// Weighted-fair share the class gets in its shard queue (stride-scheduler
+/// weight; see shard_queue.hpp).
+[[nodiscard]] std::uint32_t weight_of(QosClass c) noexcept;
+
+/// One class's SLO: a ceiling on the p99 of its queue-wait histogram.
+struct SloPolicy {
+  std::uint64_t p99_queue_wait_micros = 0;
+};
+
+/// Default per-class targets (gold 25 ms, silver 100 ms, bronze 400 ms):
+/// generous enough that an unloaded service passes on a busy CI runner, and
+/// hopeless under sustained overload, where open-loop queue growth pushes
+/// p99 waits toward the scenario duration.
+[[nodiscard]] SloPolicy default_slo(QosClass c) noexcept;
+
+[[nodiscard]] std::array<SloPolicy, kQosClasses> default_slo_table() noexcept;
+
+/// Outcome of judging one class against its policy.
+struct SloVerdict {
+  QosClass cls = QosClass::kGold;
+  std::uint64_t samples = 0;        ///< queue-wait observations merged
+  std::uint64_t p99_micros = 0;     ///< interpolated p99 of the merged histogram
+  std::uint64_t target_micros = 0;  ///< the policy ceiling
+  bool pass = true;                 ///< vacuously true with zero samples
+};
+
+/// Judge one class: pass iff the histogram is empty or p99 <= target.
+[[nodiscard]] SloVerdict evaluate_slo(QosClass cls,
+                                      const service::LatencyHistogram& queue_wait,
+                                      const SloPolicy& policy) noexcept;
+
+/// Merge every classified tenant's queue-wait histogram by class and judge
+/// each class. `class_of` maps a tenant name to its class; returning
+/// nullopt excludes the tenant (e.g. verifier or churn volumes that ride
+/// along in a chaos scenario but carry no SLO).
+[[nodiscard]] std::vector<SloVerdict> evaluate_fleet_slo(
+    const service::ServiceStats& stats,
+    const std::function<std::optional<QosClass>(const std::string&)>& class_of,
+    const std::array<SloPolicy, kQosClasses>& policies);
+
+// --- open-loop arrival schedule ----------------------------------------------
+
+/// One scheduled arrival: at `at_micros` after scenario start, tenant
+/// `tenant` submits a batch (what the batch contains is the driver's
+/// business — the schedule only fixes *when* and *who*).
+struct ArrivalEvent {
+  std::uint64_t at_micros = 0;
+  std::uint32_t tenant = 0;
+
+  bool operator==(const ArrivalEvent&) const = default;
+};
+
+struct OpenLoopOptions {
+  std::size_t tenants = 1000;
+  /// Traffic skew across tenant ranks; tenant 0 is the hottest.
+  double zipf_alpha = 1.1;
+  /// Poisson rate of the arrival process (arrivals, not ops — a driver
+  /// typically submits a batch per arrival).
+  double arrivals_per_sec = 2000.0;
+  std::uint64_t duration_micros = 2'000'000;
+  std::uint64_t seed = 1;
+};
+
+/// Deterministic Poisson/Zipf schedule: exponential inter-arrival gaps at
+/// `arrivals_per_sec`, the tenant of each arrival drawn Zipf(alpha) over
+/// ranks (rank 1 -> tenant 0). Same options -> bit-identical schedule, on
+/// every platform (util::Rng, not <random>).
+[[nodiscard]] std::vector<ArrivalEvent> build_arrival_schedule(
+    const OpenLoopOptions& options);
+
+}  // namespace backlog::fsim

@@ -154,6 +154,11 @@ VolumeManager::VolumeManager(ServiceOptions options)
       "Unread spans overwritten in a full trace ring");
   hot_.slow_ops = &metrics_.counter("backlog_slow_ops_total",
                                     "Ops at or over slow_op_micros");
+  hot_.shard_kills = &metrics_.counter(
+      "backlog_shard_kills_total", "Shard workers stopped by fault injection");
+  hot_.shard_restarts = &metrics_.counter(
+      "backlog_shard_restarts_total",
+      "Shard workers restarted after fault injection");
   hot_.update_batch_micros = &metrics_.histogram(
       "backlog_update_batch_micros", "On-shard update-batch execution time");
   hot_.query_micros = &metrics_.histogram("backlog_query_micros",
@@ -435,6 +440,26 @@ std::size_t VolumeManager::current_shard(const std::string& tenant) const {
   const std::shared_ptr<Volume> vol = find(tenant);
   std::shared_lock lock(routing_mu_);
   return vol->shard.load(std::memory_order_relaxed);
+}
+
+bool VolumeManager::kill_shard(std::size_t shard) {
+  if (shard >= pool_.size()) throw std::out_of_range("kill_shard: bad shard");
+  const bool killed = pool_.kill_shard(shard);
+  if (killed) hot_.shard_kills->add(metric_slot());
+  return killed;
+}
+
+bool VolumeManager::restart_shard(std::size_t shard) {
+  if (shard >= pool_.size())
+    throw std::out_of_range("restart_shard: bad shard");
+  const bool restarted = pool_.restart_shard(shard);
+  if (restarted) hot_.shard_restarts->add(metric_slot());
+  return restarted;
+}
+
+bool VolumeManager::shard_alive(std::size_t shard) const {
+  if (shard >= pool_.size()) throw std::out_of_range("shard_alive: bad shard");
+  return pool_.shard_alive(shard);
 }
 
 void VolumeManager::dispatch(const std::shared_ptr<Volume>& vol, Task task,

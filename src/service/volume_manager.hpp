@@ -240,6 +240,24 @@ class VolumeManager {
   /// every worker thread (false on platforms without thread affinity).
   [[nodiscard]] bool shards_pinned() const noexcept { return pool_.pinned(); }
 
+  // --- fault injection (fleet_sim chaos mode, tests) -------------------------
+
+  /// Kill shard `shard`'s worker thread (deterministically: the call joins
+  /// it). The shard's queue stays open, so every verb keeps accepting work
+  /// for tenants routed there — tasks simply wait, and the accumulated
+  /// delay lands in the queue-wait histograms when restart_shard() brings
+  /// the worker back. No operation is ever dropped. Returns false if the
+  /// shard is already dead. Throws std::out_of_range on a bad index. Must
+  /// not be called from a task body.
+  bool kill_shard(std::size_t shard);
+
+  /// Revive a killed shard; its backlog drains immediately. Returns false
+  /// if the shard is alive. Throws std::out_of_range on a bad index.
+  bool restart_shard(std::size_t shard);
+
+  /// True while `shard` has a live worker. Throws std::out_of_range.
+  [[nodiscard]] bool shard_alive(std::size_t shard) const;
+
   /// Deterministic tenant -> *initial* shard route: a platform-stable hash
   /// of the tenant name, so the same tenant lands on the same shard across
   /// restarts and across processes (given the same shard count). A volume
@@ -816,6 +834,8 @@ class VolumeManager {
     MetricsRegistry::Counter* trace_spans = nullptr;
     MetricsRegistry::Counter* trace_evictions = nullptr;
     MetricsRegistry::Counter* slow_ops = nullptr;
+    MetricsRegistry::Counter* shard_kills = nullptr;
+    MetricsRegistry::Counter* shard_restarts = nullptr;
     MetricsRegistry::Histogram* update_batch_micros = nullptr;
     MetricsRegistry::Histogram* query_micros = nullptr;
     MetricsRegistry::Histogram* cp_micros = nullptr;

@@ -28,12 +28,21 @@
 // Balancer: its queue depth (pending tasks) and an EWMA of task execution
 // time, updated by the worker thread after every task (alpha = 1/8, relaxed
 // atomics — the balancer only needs a trend, not a fence).
+//
+// Chaos hooks (the fleet_sim PR): kill_shard()/restart_shard() stop and
+// re-spawn a single shard's worker thread while its queue stays open, so
+// tasks submitted against a dead shard accumulate and execute — late — once
+// the shard returns. That is exactly the failure mode an open-loop load
+// generator needs to observe: a crashed worker shows up as queue-wait, not
+// as lost operations. The destructor restarts any dead shard before closing
+// queues, so a pool torn down mid-kill still drains every pending promise.
 #pragma once
 
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <thread>
 #include <vector>
 
@@ -81,6 +90,26 @@ class WorkerPool {
     shards_[shard]->queue.push_background(std::move(t));
   }
 
+  // --- chaos hooks (fault injection) -----------------------------------------
+
+  /// Stops shard `shard`'s worker thread at its next chunk boundary and
+  /// joins it. The queue stays open: submissions keep enqueueing and no
+  /// pending task is dropped — they simply wait until restart_shard().
+  /// Returns false if the shard is already dead. Must not be called from a
+  /// pool thread (it joins the worker).
+  bool kill_shard(std::size_t shard);
+
+  /// Spawns a fresh worker thread on a dead shard's surviving queue (and
+  /// re-pins it when pinning is on). Everything queued while the shard was
+  /// dead now executes, with the accumulated wait visible to the queue-wait
+  /// histograms. Returns false if the shard is already alive.
+  bool restart_shard(std::size_t shard);
+
+  /// True while the shard has a live worker thread.
+  [[nodiscard]] bool shard_alive(std::size_t shard) const noexcept {
+    return shards_[shard]->alive.load(std::memory_order_acquire);
+  }
+
   // --- load signals (Balancer) -----------------------------------------------
 
   [[nodiscard]] std::size_t queue_depth(std::size_t shard) const {
@@ -121,14 +150,29 @@ class WorkerPool {
     /// Tasks of the current chunk popped from the queue but not yet
     /// finished (set by the worker after pop_many, decremented per task).
     std::atomic<std::size_t> inflight{0};
+    /// kill_shard() raises this; the drain loop checks it at chunk
+    /// boundaries (before pop_many, so a stopping worker never strands a
+    /// popped-but-unrun task).
+    std::atomic<bool> stop{false};
+    std::atomic<bool> alive{false};
     std::thread thread;
 
     explicit Shard(std::size_t bg_starvation_limit)
         : queue(bg_starvation_limit) {}
   };
 
+  /// Spawns (or re-spawns) shard i's worker on its existing queue and
+  /// applies pinning. Caller holds lifecycle_mu_; the shard must have no
+  /// live thread.
+  void start_worker(std::size_t i);
+
   std::vector<std::unique_ptr<Shard>> shards_;
+  std::size_t chunk_ = 16;
+  bool pin_requested_ = false;
+  std::vector<int> pin_cpus_;  ///< allowed CPUs resolved at construction
   bool pinned_ = false;
+  /// Serializes kill/restart/teardown; never taken on the hot path.
+  mutable std::mutex lifecycle_mu_;
 };
 
 }  // namespace backlog::service

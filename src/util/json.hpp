@@ -1,0 +1,41 @@
+// Minimal JSON string escaping, shared by the bench JSONROW emitter and the
+// unit tests that pin its output. Lives in util (not bench/) so tests can
+// include it without the bench tree on their include path.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <string_view>
+
+namespace backlog::util {
+
+/// Escape `s` for embedding inside a JSON string literal (RFC 8259):
+/// backslash, double quote, and the C0 control characters. Everything else
+/// passes through byte-for-byte, so valid UTF-8 stays valid UTF-8.
+inline std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char raw : s) {
+    const auto c = static_cast<unsigned char>(raw);
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += raw;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace backlog::util

@@ -195,6 +195,48 @@ TEST(Observability, LatencyHistogramPercentilesAndBuckets) {
   EXPECT_EQ(copy.max_micros(), h.max_micros());
 }
 
+TEST(Observability, LatencyHistogramQuantilesInterpolateWithinBucket) {
+  // 100 observations of 1000 µs all land in the (512, 1024] bucket with
+  // max = 1000. The interpolated quantiles walk from the bucket's lower
+  // bound toward the max-clamped upper bound by rank: the former
+  // upper-bound readout reported 1000 for every quantile (and would report
+  // 1024 without the max clamp) — an over-report of up to 2× per bucket.
+  bsvc::LatencyHistogram h;
+  for (int i = 0; i < 100; ++i) h.record(1000);
+  EXPECT_EQ(h.quantile_micros(0.01), 517u);  // 512 + 0.01 * 488
+  EXPECT_EQ(h.p50(), 756u);                  // 512 + 0.50 * 488
+  EXPECT_EQ(h.p95(), 976u);                  // 512 + 0.95 * 488
+  EXPECT_EQ(h.p99(), 995u);                  // 512 + 0.99 * 488
+  EXPECT_EQ(h.quantile_micros(1.0), 1000u);  // the true maximum, not 1024
+
+  // Multi-bucket: ranks resolve to the right bucket before interpolating.
+  // 90 samples at 10 µs ((8,16] bucket) + 10 at 1000 µs: p50 sits in the
+  // small bucket, p99 in the big one.
+  bsvc::LatencyHistogram mix;
+  for (int i = 0; i < 90; ++i) mix.record(10);
+  for (int i = 0; i < 10; ++i) mix.record(1000);
+  EXPECT_EQ(mix.p50(), 12u);   // 8 + (50/90) * 8 ~= 12.4
+  EXPECT_EQ(mix.p99(), 951u);  // 512 + (9/10) * (1000 - 512) ~= 951.2
+
+  // The ingest (scrape) round trip preserves the interpolated readout
+  // exactly: identical bucket counts + sum/max give identical quantiles.
+  bsvc::LatencyHistogram copy;
+  for (const auto& b : mix.to_buckets()) {
+    copy.ingest_bucket(bsvc::LatencyHistogram::bucket_of(b.le_micros),
+                       b.count);
+  }
+  copy.ingest_sum_max(mix.sum_micros(), mix.max_micros());
+  EXPECT_EQ(copy.p50(), mix.p50());
+  EXPECT_EQ(copy.p95(), mix.p95());
+  EXPECT_EQ(copy.p99(), mix.p99());
+
+  // A single sample interpolates to itself (hi clamps to max, lo <= max).
+  bsvc::LatencyHistogram one;
+  one.record(700);
+  EXPECT_EQ(one.p50(), one.max_micros());
+  EXPECT_EQ(one.p99(), 700u);
+}
+
 TEST(Observability, TraceRingOverflowEvictsOldest) {
   bsvc::TraceRing ring(4);
   EXPECT_EQ(ring.capacity(), 4u);

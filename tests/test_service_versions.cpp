@@ -486,6 +486,60 @@ TEST_P(ServiceVersions, RandomizedVerbsMatchNaiveModel) {
   // stable; the moves it made stay counted in the per-tenant stats.
   balancer.stop();
 
+  // Chaos round (the fleet_sim PR): between the randomized verb loop and
+  // the lockstep sweeps below, kill each shard in turn, submit an update
+  // batch for *every* volume while it is dead (futures held — a synchronous
+  // .get() against a dead shard would wait forever), restart it, and only
+  // then collect the futures: nothing may be dropped. Each round then
+  // forces a migration of every volume (require_clean=false, so mid-window
+  // volumes take a forced CP, mirrored into the model) and re-checks a
+  // masked query per tenant against NaiveBackrefs.
+  for (std::size_t victim = 0; victim < kShards; ++victim) {
+    ASSERT_TRUE(vm.kill_shard(victim)) << "seed " << GetParam();
+    ASSERT_FALSE(vm.shard_alive(victim));
+    std::vector<std::pair<std::string, std::vector<bsvc::UpdateOp>>> sent;
+    std::vector<std::future<void>> pending;
+    for (const std::string& t : tenants) {
+      Model& m = *models.at(t);
+      std::vector<bsvc::UpdateOp> batch;
+      for (int i = 0; i < 3; ++i) {
+        bsvc::UpdateOp op;
+        op.kind = bsvc::UpdateOp::Kind::kAdd;
+        op.key.block = m.next_block++;
+        op.key.inode = 2 + rng.below(6);
+        op.key.offset = rng.below(4);
+        op.key.length = 1;
+        op.key.line = pick_line(m);
+        m.live[op.key.line].push_back(op.key);
+        batch.push_back(op);
+      }
+      pending.push_back(vm.apply_batch(t, batch));
+      sent.emplace_back(t, std::move(batch));
+    }
+    ASSERT_TRUE(vm.restart_shard(victim)) << "seed " << GetParam();
+    for (auto& f : pending) f.get();  // zero dropped ops across the kill
+    for (auto& [t, batch] : sent) {
+      Model& m = *models.at(t);
+      for (const auto& op : batch) model_apply(m, op, /*structural=*/false);
+    }
+    for (const std::string& t : tenants) {
+      Model& m = *models.at(t);
+      const bool had_pending = m.ws_nonempty();
+      const auto ms =
+          vm.migrate_volume(t, (vm.current_shard(t) + 1) % kShards);
+      ASSERT_EQ(ms.forced_cp, ms.moved && had_pending)
+          << "seed " << GetParam() << " chaos round " << victim;
+      if (ms.forced_cp) model_cp(m);
+      if (ms.moved) ++want_migrations;
+    }
+    for (const std::string& t : tenants) {
+      Model& m = *models.at(t);
+      const bc::BlockNo max_b = std::max<bc::BlockNo>(m.next_block, 2);
+      check_block(t, 1 + rng.below(max_b));
+      if (::testing::Test::HasFatalFailure()) return;
+    }
+  }
+
   // Clone-of-clone chain (depth >= 3) over the CoW file manifests: snapshot
   // and clone-as-new-tenant repeatedly, each hop sourcing from the previous
   // clone. The chained models stay in CP lockstep (take_snapshot commits a
