@@ -1,0 +1,195 @@
+// Durable-ops/s: per-batch fsync vs the group-commit WAL window.
+//
+// Every case hosts N volumes on ONE shard with the WAL enabled and pushes
+// the same open-loop update stream (submit every batch, then wait for all
+// acks — an ack means the batch's WAL record is fsync-covered). The only
+// variable is wal_commit_window_micros:
+//
+//   window 0   — the baseline: every batch fsyncs its own record inline on
+//                the shard thread before its future resolves;
+//   window > 0 — group commit: one flush sweep per window fsyncs each dirty
+//                volume once, and every batch that landed meanwhile rides it.
+//
+// The shard thread serializes the fsyncs either way, so the baseline pays
+// (batches x fsync) while group commit pays (windows x dirty volumes) —
+// durable throughput scales with batching instead of with fsync count.
+//
+// Emits one JSONROW per case:
+//
+//   JSONROW {"bench":"durability","window_us":...,"volumes":...,
+//            "batch_ops":...,"batches":...,"durable_ops_per_second":...,
+//            "wal_records":...,"wal_fsyncs":...,"fsync_micros_mean":...}
+//
+// tools/check_bench_regression.py gates on these rows at the widest fleet:
+// group commit must amortize (records/fsync >= 3, machine-independent) and
+// must beat the per-batch baseline >= 3x in durable-ops/s (self-skips where
+// fsync is too cheap for amortization to be measurable, e.g. tmpfs).
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <future>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "service/service.hpp"
+#include "storage/env.hpp"
+
+namespace {
+
+namespace bs = backlog::storage;
+namespace bsvc = backlog::service;
+namespace bench = backlog::bench;
+
+constexpr std::uint64_t kBatchOps = 16;
+constexpr std::uint64_t kBatchesPerVolume = 64;
+constexpr std::uint32_t kWindowMicros = 2000;
+
+struct CaseResult {
+  double ops_per_second = 0;
+  std::uint64_t wal_records = 0;
+  std::uint64_t wal_fsyncs = 0;
+  double fsync_micros_mean = 0;
+};
+
+std::string vol_name(std::size_t v) { return "vol" + std::to_string(v); }
+
+CaseResult run_case(std::size_t volumes, std::uint32_t window_us) {
+  bs::TempDir dir("backlog_durability");
+  bsvc::ServiceOptions so;
+  so.shards = 1;  // one shard thread: the fsync serialization point
+  so.root = dir.path();
+  so.db_options.expected_ops_per_cp = kBatchesPerVolume * kBatchOps;
+  so.wal_enabled = true;
+  so.wal_commit_window_micros = window_us;
+  bsvc::VolumeManager vm(so);
+
+  for (std::size_t v = 0; v < volumes; ++v) vm.open_volume(vol_name(v));
+
+  // Warm-up batch per volume: WAL file creation and first-touch costs land
+  // here, not in the measured window.
+  const auto make_batch = [](std::uint64_t first_block) {
+    std::vector<bsvc::UpdateOp> batch;
+    batch.reserve(kBatchOps);
+    for (std::uint64_t i = 0; i < kBatchOps; ++i) {
+      bsvc::UpdateOp op;
+      op.kind = bsvc::UpdateOp::Kind::kAdd;
+      op.key.block = first_block + i;
+      op.key.inode = 2;
+      op.key.length = 1;
+      batch.push_back(op);
+    }
+    return batch;
+  };
+  for (std::size_t v = 0; v < volumes; ++v) {
+    vm.apply_batch(vol_name(v), make_batch(v << 32)).get();
+  }
+  const std::uint64_t warm_records =
+      static_cast<std::uint64_t>(
+          vm.metrics().counter("backlog_wal_records_total", "").total());
+  const std::uint64_t warm_fsyncs =
+      static_cast<std::uint64_t>(
+          vm.metrics().counter("backlog_wal_syncs_total", "").total());
+
+  // Open loop, one driver thread per volume (a fleet's update stream comes
+  // from many connections — a single submitter would cap how much a window
+  // can accumulate): each thread submits its batches without waiting, then
+  // drains its acks.
+  const double t0 = bench::now_seconds();
+  std::vector<std::thread> drivers;
+  std::vector<double> submit_done(volumes, 0);
+  drivers.reserve(volumes);
+  for (std::size_t v = 0; v < volumes; ++v) {
+    drivers.emplace_back([&, v] {
+      std::vector<std::future<void>> acks;
+      acks.reserve(kBatchesPerVolume);
+      for (std::uint64_t r = 0; r < kBatchesPerVolume; ++r) {
+        acks.push_back(vm.apply_batch(
+            vol_name(v), make_batch((v << 32) | ((r + 1) * kBatchOps))));
+      }
+      submit_done[v] = bench::now_seconds() - t0;
+      for (auto& f : acks) f.get();
+    });
+  }
+  for (auto& t : drivers) t.join();
+  const double elapsed = bench::now_seconds() - t0;
+  double submit_max = 0;
+  for (double s : submit_done) submit_max = std::max(submit_max, s);
+  std::printf("    [submit phase: %.1f ms of %.1f ms total]\n",
+              submit_max * 1e3, elapsed * 1e3);
+
+  CaseResult res;
+  res.ops_per_second =
+      static_cast<double>(volumes * kBatchesPerVolume * kBatchOps) / elapsed;
+  res.wal_records =
+      static_cast<std::uint64_t>(
+          vm.metrics().counter("backlog_wal_records_total", "").total()) -
+      warm_records;
+  res.wal_fsyncs =
+      static_cast<std::uint64_t>(
+          vm.metrics().counter("backlog_wal_syncs_total", "").total()) -
+      warm_fsyncs;
+  bs::IoStats io;
+  for (std::size_t v = 0; v < volumes; ++v) {
+    io += vm.io_stats(vol_name(v)).get();
+  }
+  if (io.fsyncs > 0) {
+    res.fsync_micros_mean =
+        static_cast<double>(io.fsync_micros) / static_cast<double>(io.fsyncs);
+  }
+  return res;
+}
+
+void report(std::size_t volumes, std::uint32_t window_us,
+            const CaseResult& r) {
+  std::printf("  volumes %2zu  window %5u us  %10.0f durable ops/s  "
+              "records %5llu  fsyncs %5llu  (fsync mean %.0f us)\n",
+              volumes, window_us, r.ops_per_second,
+              static_cast<unsigned long long>(r.wal_records),
+              static_cast<unsigned long long>(r.wal_fsyncs),
+              r.fsync_micros_mean);
+  bench::JsonRow()
+      .str("bench", "durability")
+      .num("window_us", window_us)
+      .num("volumes", static_cast<std::uint64_t>(volumes))
+      .num("batch_ops", kBatchOps)
+      .num("batches", kBatchesPerVolume)
+      .num("durable_ops_per_second", r.ops_per_second)
+      .num("wal_records", r.wal_records)
+      .num("wal_fsyncs", r.wal_fsyncs)
+      .num("fsync_micros_mean", r.fsync_micros_mean)
+      .print();
+}
+
+}  // namespace
+
+int main() {
+  const auto scale = backlog::bench::Scale::from_env();
+  bench::print_header(
+      "durability: per-batch fsync vs group-commit WAL window",
+      "one fsync per dirty volume per window covers every parked batch",
+      scale);
+  std::printf("per volume: %llu batches x %llu ops, 1 shard, window %u us\n",
+              static_cast<unsigned long long>(kBatchesPerVolume),
+              static_cast<unsigned long long>(kBatchOps), kWindowMicros);
+
+  double base8 = 0, group8 = 0;
+  for (const std::size_t volumes : {std::size_t{1}, std::size_t{4},
+                                    std::size_t{8}}) {
+    const CaseResult perop = run_case(volumes, 0);
+    report(volumes, 0, perop);
+    const CaseResult group = run_case(volumes, kWindowMicros);
+    report(volumes, kWindowMicros, group);
+    if (volumes == 8) {
+      base8 = perop.ops_per_second;
+      group8 = group.ops_per_second;
+    }
+  }
+  if (base8 > 0) {
+    std::printf("\ngroup commit at 8 volumes: %.1fx the per-batch baseline "
+                "(target >= 3x where fsync is real)\n",
+                group8 / base8);
+  }
+  return 0;
+}

@@ -19,8 +19,16 @@
 // traffic: a ground-truth verifier fleet (synthesize_fleet +
 // replay_concurrently, exact live_keys checked at the end), repeated shard
 // worker kill/restart, forced explicit migrations, an aggressive Balancer,
-// and snapshot/clone/destroy churn on dedicated volumes. The binary exits
-// non-zero if the verifier diverges or any operation is dropped.
+// and snapshot/clone/destroy churn on dedicated volumes. Chaos also runs
+// the full durability pipeline (group-commit WAL on every volume) and adds
+// two rounds on top of the random kills: shard kills landed exactly when a
+// shard's WAL pipeline passes an armed injection point (wal_appended,
+// wal_synced, cp_flushed, registry_persisted, wal_truncated — the same five
+// points the crash matrix forks at), and a wounded-volume round that arms a
+// sticky EIO write fault on a dedicated volume, checks the degradation is
+// graceful (writes fail with typed kWounded, reads keep serving), then
+// heals it by reopen. The binary exits non-zero if the verifier diverges,
+// any operation is dropped, or a wounded-volume check fails.
 //
 // Output: one JSONROW per QoS class (`row":"slo"`) plus config/fleet/chaos
 // rows; tools/check_slo.py turns them into the CI gate.
@@ -268,18 +276,48 @@ struct ChaosCounters {
   std::atomic<std::uint64_t> snapshots{0};
   std::atomic<std::uint64_t> clones{0};
   std::atomic<std::uint64_t> destroys{0};
+  std::atomic<std::uint64_t> wal_point_kills{0};
+  std::atomic<std::uint64_t> wounds{0};
+  std::atomic<std::uint64_t> heals{0};
+  /// Graceful-degradation invariant violations observed live: a wounded
+  /// volume whose write did NOT fail kWounded, whose read failed, or whose
+  /// reopen did not heal it. Any nonzero fails the run.
+  std::atomic<std::uint64_t> wound_failures{0};
 };
 
-/// The chaos actor: kill/restart a shard, force an explicit migration, and
-/// churn a snapshot+clone+destroy cycle on the dedicated churn volumes —
+/// The five durability ordering points ServiceOptions::wal_checkpoint fires
+/// at — the same names the crash matrix forks on in test_wal_recovery.
+constexpr const char* kWalPoints[] = {"wal_appended", "wal_synced",
+                                      "cp_flushed", "registry_persisted",
+                                      "wal_truncated"};
+
+/// Synchronizes the chaos actor's shard kills with the durability pipeline:
+/// the actor arms one point, the first shard thread to pass it trips the
+/// switch and records itself (the hook runs on the shard thread, so
+/// WorkerPool::current_shard() names it), and the actor kills that exact
+/// shard — the worker dies at its next chunk boundary, i.e. with that
+/// shard's WAL window / CP mid-flight just past the armed point. Nothing
+/// may be lost: parked group-commit acks must deliver on restart.
+struct WalKillSwitch {
+  std::atomic<int> armed{-1};  // index into kWalPoints, -1 disarmed
+  std::atomic<std::size_t> hit_shard{bsvc::WorkerPool::kNoShard};
+};
+
+/// The chaos actor: kill/restart a shard (randomly timed and again at an
+/// armed WAL injection point), force an explicit migration, churn a
+/// snapshot+clone+destroy cycle, and wound/heal a dedicated volume —
 /// repeatedly, until told to stop. Runs on its own thread; every action is
 /// synchronous here (the *service* must stay asynchronous under it, not the
 /// actor).
 void chaos_loop(bsvc::VolumeManager& vm, const Config& cfg,
-                std::atomic<bool>& stop, ChaosCounters& counters) {
+                std::atomic<bool>& stop, ChaosCounters& counters,
+                WalKillSwitch& wal_kill) {
   util::Rng rng(cfg.seed ^ 0xc4a05u);
   std::deque<std::string> churn_clones;
   std::uint64_t churn_seq = 0;
+  // Monotonic across rounds: blocks consumed by a refused (wounded) batch
+  // are never reused, so reopen-recovered state never sees a duplicate add.
+  TenantState wound_st;
   while (!stop.load(std::memory_order_acquire)) {
     // 1. Kill a shard, leave it dead briefly, bring it back. Tasks routed
     // there accumulate in the open queue and drain on restart.
@@ -289,6 +327,34 @@ void chaos_loop(bsvc::VolumeManager& vm, const Config& cfg,
       std::this_thread::sleep_for(std::chrono::milliseconds(40));
       vm.restart_shard(victim);
       counters.restarts.fetch_add(1, std::memory_order_relaxed);
+    }
+    if (stop.load(std::memory_order_acquire)) break;
+    // 1b. Kill at a WAL injection point: arm one of the five durability
+    // ordering points and kill whichever shard trips it — the worker dies
+    // with open group-commit windows / a mid-flight CP on that shard, and
+    // restart must still deliver every parked ack (the reaper counts any
+    // loss as a dropped op).
+    {
+      const int point = static_cast<int>(rng.below(
+          sizeof kWalPoints / sizeof kWalPoints[0]));
+      wal_kill.hit_shard.store(bsvc::WorkerPool::kNoShard,
+                               std::memory_order_release);
+      wal_kill.armed.store(point, std::memory_order_release);
+      std::size_t shard = bsvc::WorkerPool::kNoShard;
+      for (int spins = 0;
+           spins < 150 && !stop.load(std::memory_order_acquire); ++spins) {
+        shard = wal_kill.hit_shard.load(std::memory_order_acquire);
+        if (shard != bsvc::WorkerPool::kNoShard) break;
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+      wal_kill.armed.store(-1, std::memory_order_release);
+      if (shard < cfg.shards && vm.kill_shard(shard)) {
+        counters.kills.fetch_add(1, std::memory_order_relaxed);
+        counters.wal_point_kills.fetch_add(1, std::memory_order_relaxed);
+        std::this_thread::sleep_for(std::chrono::milliseconds(30));
+        vm.restart_shard(shard);
+        counters.restarts.fetch_add(1, std::memory_order_relaxed);
+      }
     }
     if (stop.load(std::memory_order_acquire)) break;
     // 2. Forced explicit migration of a random open-loop tenant (not
@@ -326,17 +392,79 @@ void chaos_loop(bsvc::VolumeManager& vm, const Config& cfg,
     } catch (const std::exception& e) {
       std::fprintf(stderr, "chaos churn error: %s\n", e.what());
     }
+    if (stop.load(std::memory_order_acquire)) break;
+    // 4. Wound/heal the dedicated wound volume (no open-loop or verifier
+    // traffic touches it): arm a sticky EIO write fault on its private Env,
+    // then check the degradation contract live — the next write fails with
+    // typed kWounded, reads keep serving, and a reopen (close + open with a
+    // fresh Env) heals it. Every violated check counts a wound_failure,
+    // which fails the run.
+    try {
+      vm.apply_batch("wound-a", make_batch(wound_st, 16))
+          .get();  // a healed volume accepts writes
+      vm.with_env("wound-a", [](bs::Env& env, bc::BacklogDb&) {
+          env.set_write_fault({bs::Env::WriteFaultMode::kEio, 0, true});
+        }).get();
+      bool wounded_as_expected = false;
+      try {
+        vm.apply_batch("wound-a", make_batch(wound_st, 16)).get();
+      } catch (const bsvc::ServiceError& e) {
+        wounded_as_expected = e.code() == bsvc::ErrorCode::kWounded;
+      }
+      counters.wounds.fetch_add(1, std::memory_order_relaxed);
+      if (!wounded_as_expected) {
+        counters.wound_failures.fetch_add(1, std::memory_order_relaxed);
+        std::fprintf(stderr,
+                     "wound check failed: write did not fail kWounded\n");
+      }
+      vm.query("wound-a", 0).get();  // reads must survive the wound
+      try {
+        vm.close_volume("wound-a");
+      } catch (const std::exception&) {
+        // The close's final flush goes through the still-faulted Env and
+        // may fail; the volume closes regardless (teardown is uncondi-
+        // tional) and the reopen below recovers the last acked state.
+      }
+      vm.open_volume("wound-a");
+      vm.apply_batch("wound-a", make_batch(wound_st, 16))
+          .get();  // the reopen healed it
+      counters.heals.fetch_add(1, std::memory_order_relaxed);
+    } catch (const std::exception& e) {
+      counters.wound_failures.fetch_add(1, std::memory_order_relaxed);
+      std::fprintf(stderr, "wound round failed: %s\n", e.what());
+    }
     std::this_thread::sleep_for(std::chrono::milliseconds(20));
   }
 }
 
 int run(const Config& cfg) {
   bs::TempDir dir("backlog_fleet_sim");
+  // Declared before the VolumeManager so the wal_checkpoint hook can still
+  // read it while the manager tears down (final CPs fire the points too).
+  WalKillSwitch wal_kill;
   bsvc::ServiceOptions opts;
   opts.shards = cfg.shards;
   opts.root = dir.path();
   opts.sync_writes = false;
   opts.db_options.expected_ops_per_cp = 4096;
+  if (cfg.chaos) {
+    // Chaos runs the full durability pipeline underneath the fleet: every
+    // ack is fsync-covered via the group-commit window, and the injection
+    // hook feeds the kill switch so the actor can land shard kills at
+    // exact pipeline points. quiet/overload keep the CP-only seed config
+    // (their SLO baselines predate the WAL).
+    opts.wal_enabled = true;
+    opts.wal_commit_window_micros = 2000;
+    opts.wal_checkpoint = [&wal_kill](std::string_view point) {
+      int want = wal_kill.armed.load(std::memory_order_acquire);
+      if (want < 0 || point != kWalPoints[want]) return;
+      if (wal_kill.armed.compare_exchange_strong(want, -1,
+                                                 std::memory_order_acq_rel)) {
+        wal_kill.hit_shard.store(bsvc::WorkerPool::current_shard(),
+                                 std::memory_order_release);
+      }
+    };
+  }
   bsvc::VolumeManager vm(opts);
 
   std::printf("fleet_sim: scenario=%s tenants=%zu shards=%zu util=%.2f\n",
@@ -419,6 +547,7 @@ int run(const Config& cfg) {
       vm.apply_batch(churn, make_batch(st, 512)).get();
       vm.consistency_point(churn).get();
     }
+    vm.open_volume("wound-a");  // the wound/heal round's dedicated volume
     bsvc::BalancerPolicy bp;
     bp.poll_interval = std::chrono::milliseconds(100);
     bp.cooldown = std::chrono::milliseconds(300);
@@ -441,7 +570,7 @@ int run(const Config& cfg) {
       }
     });
     chaos_thread = std::thread(
-        [&] { chaos_loop(vm, cfg, chaos_stop, chaos_counters); });
+        [&] { chaos_loop(vm, cfg, chaos_stop, chaos_counters, wal_kill); });
   }
 
   // --- the open-loop dispatcher ---------------------------------------------
@@ -620,25 +749,38 @@ int run(const Config& cfg) {
         .str("scenario", cfg.scenario)
         .num("shard_kills", chaos_counters.kills.load())
         .num("shard_restarts", chaos_counters.restarts.load())
+        .num("wal_point_kills", chaos_counters.wal_point_kills.load())
         .num("forced_migrations", chaos_counters.forced_migrations.load())
         .num("snapshots", chaos_counters.snapshots.load())
         .num("clones", chaos_counters.clones.load())
         .num("destroys", chaos_counters.destroys.load())
+        .num("wounds", chaos_counters.wounds.load())
+        .num("heals", chaos_counters.heals.load())
+        .num("wound_failures", chaos_counters.wound_failures.load())
         .num("verifier_tenants", verifier_fleet.size())
         .num("verifier_divergence", divergence)
         .num("dropped_ops", reaper.dropped())
         .num("hardware_concurrency", cores);
     chaos_row.print();
     std::printf(
-        "chaos: kills=%llu migrations=%llu clones=%llu divergence=%llu "
+        "chaos: kills=%llu (at-wal-point=%llu) migrations=%llu clones=%llu "
+        "wounds=%llu heals=%llu wound_failures=%llu divergence=%llu "
         "dropped=%llu\n",
         static_cast<unsigned long long>(chaos_counters.kills.load()),
+        static_cast<unsigned long long>(chaos_counters.wal_point_kills.load()),
         static_cast<unsigned long long>(
             chaos_counters.forced_migrations.load()),
         static_cast<unsigned long long>(chaos_counters.clones.load()),
+        static_cast<unsigned long long>(chaos_counters.wounds.load()),
+        static_cast<unsigned long long>(chaos_counters.heals.load()),
+        static_cast<unsigned long long>(
+            chaos_counters.wound_failures.load()),
         static_cast<unsigned long long>(divergence),
         static_cast<unsigned long long>(reaper.dropped()));
-    if (divergence != 0 || reaper.dropped() != 0) return 1;
+    if (divergence != 0 || reaper.dropped() != 0 ||
+        chaos_counters.wound_failures.load() != 0) {
+      return 1;
+    }
   }
   std::printf("fleet_sim: %s (%s)\n", all_pass ? "all SLOs met" : "SLO breach",
               cfg.scenario.c_str());

@@ -241,12 +241,14 @@ CpFlushStats BacklogDb::consistency_point() {
   flush_table(ws_.encode_from_sorted(), kFromRecordSize, Table::kFrom);
   flush_table(ws_.encode_to_sorted(), kToRecordSize, Table::kTo);
   ws_.clear();
+  if (options_.checkpoint) options_.checkpoint("cp_flushed");
 
   // The CP is committed by the manifest write (the "root node written last"
   // rule of write-anywhere systems, §2) — so the registry advances first and
   // the manifest records the post-CP state.
   registry_.advance_cp();
   persist_registry();
+  if (options_.checkpoint) options_.checkpoint("registry_persisted");
   ops_since_cp_ = 0;
   ++mutations_;
 

@@ -20,6 +20,7 @@
 #include <optional>
 #include <span>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
@@ -106,6 +107,15 @@ struct BacklogOptions {
   /// stay exact. Null (the standalone default) means every file is
   /// sole-owned and plain deletion suffices.
   FileManifest* shared_files = nullptr;
+
+  /// Crash-injection checkpoint for the durability pipeline, mirroring
+  /// ServiceOptions::clone_checkpoint: invoked with "cp_flushed" after a
+  /// consistency point's run files hit disk (write store cleared, registry
+  /// not yet advanced) and "registry_persisted" after the manifest edit
+  /// commits the CP. Crash tests _exit() inside the hook to freeze the
+  /// on-disk state exactly between those two ordering points. Null (the
+  /// default) disables injection.
+  std::function<void(std::string_view point)> checkpoint;
 };
 
 /// One masked query result: a Combined record plus the retained snapshot /

@@ -1,12 +1,17 @@
 #include "net/client.hpp"
 
+#include <fcntl.h>
 #include <netdb.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <stdexcept>
 #include <utility>
@@ -25,6 +30,78 @@ std::string text_request(Client& c, Verb verb, const std::string& tenant) {
   const auto body = c.call(verb, tenant, w.data());
   util::Reader r(body);
   return r.string(kMaxTextBody);
+}
+
+std::uint64_t mono_ms() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// ±50% multiplicative jitter from a cheap per-process xorshift — good
+/// enough to de-synchronize a fleet of retrying clients, and free of
+/// <random>'s per-call construction cost.
+std::uint32_t jittered(std::uint32_t base_ms) {
+  static thread_local std::uint64_t state =
+      0x9e3779b97f4a7c15ull ^
+      (static_cast<std::uint64_t>(::getpid()) << 32) ^ mono_ms();
+  state ^= state << 13;
+  state ^= state >> 7;
+  state ^= state << 17;
+  const std::uint32_t half = std::max<std::uint32_t>(1, base_ms / 2);
+  return half + static_cast<std::uint32_t>(state % (2 * half));
+}
+
+/// One bounded connect attempt on an already-created socket. Returns 0 on
+/// success, the failing errno otherwise (ETIMEDOUT for a poll timeout).
+int connect_bounded(int fd, const sockaddr* addr, socklen_t addrlen,
+                    std::uint32_t timeout_ms) {
+  if (timeout_ms == 0) {
+    int rc;
+    do {
+      rc = ::connect(fd, addr, addrlen);
+    } while (rc < 0 && errno == EINTR);
+    return rc == 0 ? 0 : errno;
+  }
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) return errno;
+  int rc;
+  do {
+    rc = ::connect(fd, addr, addrlen);
+  } while (rc < 0 && errno == EINTR);
+  int err = 0;
+  if (rc < 0) {
+    if (errno != EINPROGRESS) {
+      err = errno;
+    } else {
+      const std::uint64_t deadline = mono_ms() + timeout_ms;
+      pollfd pfd{fd, POLLOUT, 0};
+      for (;;) {
+        const std::uint64_t now = mono_ms();
+        if (now >= deadline) {
+          err = ETIMEDOUT;
+          break;
+        }
+        const int pr = ::poll(&pfd, 1, static_cast<int>(deadline - now));
+        if (pr < 0) {
+          if (errno == EINTR) continue;
+          err = errno;
+          break;
+        }
+        if (pr == 0) {
+          err = ETIMEDOUT;
+          break;
+        }
+        socklen_t len = sizeof err;
+        if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len) < 0)
+          err = errno;
+        break;
+      }
+    }
+  }
+  if (err == 0 && ::fcntl(fd, F_SETFL, flags) < 0) err = errno;
+  return err;
 }
 
 }  // namespace
@@ -60,6 +137,11 @@ Client& Client::operator=(Client&& other) noexcept {
 }
 
 void Client::connect(const std::string& host, std::uint16_t port) {
+  connect(host, port, ConnectOptions{});
+}
+
+void Client::connect(const std::string& host, std::uint16_t port,
+                     const ConnectOptions& opts) {
   close();
   addrinfo hints{};
   hints.ai_family = AF_UNSPEC;
@@ -70,31 +152,47 @@ void Client::connect(const std::string& host, std::uint16_t port) {
   if (rc != 0) {
     throw std::runtime_error("resolve " + host + ": " + ::gai_strerror(rc));
   }
+  // Retrying a connect is always safe (no request has been issued), so a
+  // client can race a daemon's startup: keep attempting for retry_for_ms
+  // with exponentially backed-off, jittered pauses.
+  const std::uint64_t give_up = mono_ms() + opts.retry_for_ms;
+  std::uint32_t backoff = std::max<std::uint32_t>(1, opts.retry_backoff_ms);
   int last_errno = ECONNREFUSED;
-  for (addrinfo* ai = res; ai != nullptr; ai = ai->ai_next) {
-    const int fd = ::socket(ai->ai_family, ai->ai_socktype | SOCK_CLOEXEC,
-                            ai->ai_protocol);
-    if (fd < 0) {
-      last_errno = errno;
-      continue;
+  for (;;) {
+    for (addrinfo* ai = res; ai != nullptr; ai = ai->ai_next) {
+      const int fd = ::socket(ai->ai_family, ai->ai_socktype | SOCK_CLOEXEC,
+                              ai->ai_protocol);
+      if (fd < 0) {
+        last_errno = errno;
+        continue;
+      }
+      const int err = connect_bounded(fd, ai->ai_addr, ai->ai_addrlen,
+                                      opts.connect_timeout_ms);
+      if (err == 0) {
+        fd_ = fd;
+        break;
+      }
+      last_errno = err;
+      ::close(fd);
     }
-    int crc;
-    do {
-      crc = ::connect(fd, ai->ai_addr, ai->ai_addrlen);
-    } while (crc < 0 && errno == EINTR);
-    if (crc == 0) {
-      fd_ = fd;
-      const int one = 1;
-      ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
-      break;
-    }
-    last_errno = errno;
-    ::close(fd);
+    if (fd_ >= 0 || mono_ms() >= give_up) break;
+    const std::uint32_t pause = jittered(backoff);
+    backoff = std::min<std::uint32_t>(backoff * 2, 1000);
+    ::poll(nullptr, 0, static_cast<int>(pause));  // signal-tolerant sleep
   }
   ::freeaddrinfo(res);
   if (fd_ < 0) {
     throw std::runtime_error("connect " + host + ":" + port_str + ": " +
                              std::strerror(last_errno));
+  }
+  const int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  if (opts.read_timeout_ms != 0) {
+    timeval tv{};
+    tv.tv_sec = opts.read_timeout_ms / 1000;
+    tv.tv_usec = static_cast<long>(opts.read_timeout_ms % 1000) * 1000;
+    ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+    ::setsockopt(fd_, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof tv);
   }
 }
 
@@ -111,9 +209,11 @@ void Client::write_all(std::span<const std::uint8_t> data) {
     const ssize_t n = ::write(fd_, data.data() + off, data.size() - off);
     if (n < 0) {
       if (errno == EINTR) continue;
+      const bool timed_out = errno == EAGAIN || errno == EWOULDBLOCK;
       close();
-      throw std::runtime_error(std::string("net write: ") +
-                               std::strerror(errno));
+      throw std::runtime_error(timed_out ? "net write: timeout"
+                                         : std::string("net write: ") +
+                                               std::strerror(errno));
     }
     if (n == 0) {
       close();
@@ -129,9 +229,14 @@ bool Client::read_exact(std::uint8_t* dst, std::size_t n) {
     const ssize_t r = ::read(fd_, dst + off, n - off);
     if (r < 0) {
       if (errno == EINTR) continue;
+      // SO_RCVTIMEO expiry: the server stalled past ConnectOptions::
+      // read_timeout_ms. The stream is unusable (a late response would
+      // desynchronize it), so close like any protocol failure.
+      const bool timed_out = errno == EAGAIN || errno == EWOULDBLOCK;
       close();
-      throw std::runtime_error(std::string("net read: ") +
-                               std::strerror(errno));
+      throw std::runtime_error(timed_out ? "net read: timeout"
+                                         : std::string("net read: ") +
+                                               std::strerror(errno));
     }
     if (r == 0) {
       close();

@@ -121,6 +121,7 @@ const char* to_string(ErrorCode code) noexcept {
     case ErrorCode::kNoSuchVerb: return "no-such-verb";
     case ErrorCode::kTooLarge: return "too-large";
     case ErrorCode::kInternal: return "internal";
+    case ErrorCode::kWounded: return "wounded";
   }
   return "unknown";
 }

@@ -55,6 +55,7 @@ enum class ErrorCode : std::uint8_t {
   kNoSuchVerb = 4,    ///< verb id not registered on this server
   kTooLarge = 5,      ///< payload length over the verb's cap
   kInternal = 6,      ///< handler threw an unexpected exception
+  kWounded = 7,       ///< volume is read-only after persistent write errors
 };
 
 /// Stable wire-facing name of an error code ("ok", "throttled", ...).

@@ -3,9 +3,11 @@
 #include <sys/stat.h>
 
 #include <algorithm>
+#include <cstdio>
 #include <filesystem>
 #include <random>
 #include <stdexcept>
+#include <thread>
 
 #include "util/clock.hpp"
 
@@ -96,6 +98,7 @@ struct PendingGuard {
 
 bool VolumeManager::flush_buffered_cp(Volume& v) {
   if (v.db->quick_stats().ws_entries == 0) return false;
+  throw_if_wounded(v);
   const std::uint64_t t0 = now_micros();
   v.db->consistency_point();
   ++v.stats.cps;
@@ -103,6 +106,10 @@ bool VolumeManager::flush_buffered_cp(Volume& v) {
   v.stats.cp_micros.record(d);
   hot_.cps->add(metric_slot());
   hot_.cp_micros->record(metric_slot(), d);
+  if (v.wal) {
+    v.wal->reset();
+    wal_point("wal_truncated");
+  }
   return true;
 }
 
@@ -159,6 +166,17 @@ VolumeManager::VolumeManager(ServiceOptions options)
   hot_.shard_restarts = &metrics_.counter(
       "backlog_shard_restarts_total",
       "Shard workers restarted after fault injection");
+  hot_.wal_records = &metrics_.counter("backlog_wal_records_total",
+                                       "WAL records appended");
+  hot_.wal_syncs = &metrics_.counter(
+      "backlog_wal_syncs_total",
+      "WAL fsync barriers (group commit counts one per dirty volume swept)");
+  hot_.wal_replayed_ops = &metrics_.counter(
+      "backlog_wal_replayed_ops_total",
+      "Update ops replayed from WAL tails at volume open");
+  hot_.volumes_wounded = &metrics_.counter(
+      "backlog_volumes_wounded_total",
+      "Volumes flipped read-only by persistent write errors");
   hot_.update_batch_micros = &metrics_.histogram(
       "backlog_update_batch_micros", "On-shard update-batch execution time");
   hot_.query_micros = &metrics_.histogram("backlog_query_micros",
@@ -210,6 +228,23 @@ VolumeManager::VolumeManager(ServiceOptions options)
       .set_callback([this] {
         return static_cast<double>(block_cache_.stats().bytes);
       });
+  // Graceful-degradation visibility: how many hosted volumes are currently
+  // read-only after persistent write errors. Evaluated at scrape time from
+  // the per-volume flags (cheap: one relaxed load per volume under mu_).
+  metrics_
+      .gauge("backlog_wounded_volumes",
+             "Hosted volumes currently read-only after write errors")
+      .set_callback([this] {
+        std::lock_guard lock(mu_);
+        double n = 0;
+        for (const auto& [name, vol] : volumes_) {
+          if (vol->wounded.load(std::memory_order_relaxed)) ++n;
+        }
+        return n;
+      });
+  commit_.reserve(options_.shards);
+  for (std::size_t i = 0; i < options_.shards; ++i)
+    commit_.push_back(std::make_unique<ShardCommit>());
   recover_clone_staging();
 }
 
@@ -323,7 +358,49 @@ core::BacklogOptions VolumeManager::volume_db_options() {
   opts.result_cache_entries = options_.cache.enable_result_cache
                                   ? options_.cache.result_cache_entries
                                   : 0;
+  // The durability pipeline's two in-CP injection points ("cp_flushed",
+  // "registry_persisted") fire from inside BacklogDb::consistency_point;
+  // the service-level points fire through wal_point(). Same hook, so a
+  // crash harness sees the full ordered sequence.
+  if (options_.wal_checkpoint) opts.checkpoint = options_.wal_checkpoint;
   return opts;
+}
+
+void VolumeManager::recover_volume_on_shard(
+    Volume& v, const std::filesystem::path& dir,
+    const core::BacklogOptions& db_opts) {
+  v.env = std::make_unique<storage::Env>(dir);
+  // WAL durability is meaningless without real fsyncs: enabling it forces
+  // them even when the service otherwise runs unsynced.
+  v.env->set_sync(options_.sync_writes || options_.wal_enabled);
+  v.env->set_fault_hook(options_.env_fault_hook);
+  if (options_.env_prepare) options_.env_prepare(v.tenant, *v.env);
+  v.db = std::make_unique<core::BacklogDb>(*v.env, db_opts);
+  if (!options_.wal_enabled) return;
+  // Replay the WAL tail into the recovered db. Records below the recovered
+  // CP are already durable in run files and are skipped; anything at or
+  // above it was acked durable but never reached a committed CP. Replayed
+  // ops are committed as a consistency point immediately, so the reset
+  // below can never drop an acked op.
+  core::WalReplayOptions ropts;
+  ropts.min_epoch = v.db->current_cp();
+  ropts.max_extent_blocks = db_opts.max_extent_blocks;
+  const core::WalReplayStats rs = core::Wal::replay(
+      *v.env, core::Wal::kDefaultName, ropts,
+      [&v](core::Epoch, std::span<const core::Update> ops) {
+        v.db->apply_many(ops);
+      });
+  if (rs.ops_applied != 0) {
+    v.db->consistency_point();
+    hot_.wal_replayed_ops->add(metric_slot(), rs.ops_applied);
+  }
+  // Start a fresh, empty log: replayed ops are in runs now, and a rejected
+  // torn/corrupt tail is garbage by definition. Deliberately not a
+  // "wal_truncated" injection point — recovery truncation is not part of
+  // the commit pipeline's ordering, and a crash test dying here could
+  // never finish its own recovery.
+  v.wal = std::make_unique<core::Wal>(*v.env, core::Wal::kDefaultName);
+  v.wal->reset();
 }
 
 VolumeManager::~VolumeManager() {
@@ -505,10 +582,7 @@ void VolumeManager::open_volume(const std::string& tenant) {
       vol,
       [this, vol, prom, dir, db_opts = volume_db_options()] {
         try {
-          vol->env = std::make_unique<storage::Env>(dir);
-          vol->env->set_sync(options_.sync_writes);
-          vol->env->set_fault_hook(options_.env_fault_hook);
-          vol->db = std::make_unique<core::BacklogDb>(*vol->env, db_opts);
+          recover_volume_on_shard(*vol, dir, db_opts);
           prom->set_value();
         } catch (...) {
           prom->set_exception(std::current_exception());
@@ -550,6 +624,7 @@ void VolumeManager::close_volume(const std::string& tenant) {
            struct Teardown {
              Volume& v;
              ~Teardown() {
+               v.wal.reset();  // before the Env it writes through
                v.db.reset();
                v.env.reset();
              }
@@ -607,6 +682,7 @@ void VolumeManager::destroy_volume(const std::string& tenant) {
            // unlink here is its physical removal. No remove_all shortcut:
            // that would leave the refcount table claiming holders that no
            // longer exist.
+           v.wal.reset();
            v.db.reset();
            v.env.reset();
            release_directory_via_manifest(dir);
@@ -622,6 +698,18 @@ std::future<void> VolumeManager::apply(const std::string& tenant,
   const double ops_cost = static_cast<double>(batch.size());
   const double bytes_cost = ops_cost * core::kFromRecordSize;
   const auto op_count = static_cast<std::uint32_t>(batch.size());
+  if (options_.wal_enabled) {
+    // Durable form of the verb: the future resolves only once the applied
+    // prefix is covered by a WAL fsync (inline or the shard's group-commit
+    // sweep). per_op preserves the partial-prefix contract documented above.
+    std::shared_ptr<Volume> vol = find(tenant);
+    return run_on_deferred(
+        vol,
+        [this, vol, batch = std::move(batch)](Volume&, DoneFn done) {
+          wal_apply_batch(vol, batch, /*per_op=*/true, std::move(done));
+        },
+        ops_cost, bytes_cost, TraceVerb::kApply, op_count);
+  }
   return run_on(
       find(tenant),
       [this, batch = std::move(batch)](Volume& v) {
@@ -656,6 +744,15 @@ std::future<void> VolumeManager::apply_batch(const std::string& tenant,
   const double ops_cost = static_cast<double>(batch.size());
   const double bytes_cost = ops_cost * core::kFromRecordSize;
   const auto op_count = static_cast<std::uint32_t>(batch.size());
+  if (options_.wal_enabled) {
+    std::shared_ptr<Volume> vol = find(tenant);
+    return run_on_deferred(
+        vol,
+        [this, vol, batch = std::move(batch)](Volume&, DoneFn done) {
+          wal_apply_batch(vol, batch, /*per_op=*/false, std::move(done));
+        },
+        ops_cost, bytes_cost, TraceVerb::kApplyBatch, op_count);
+  }
   return run_on(
       find(tenant),
       [this, batch = std::move(batch)](Volume& v) {
@@ -672,6 +769,184 @@ std::future<void> VolumeManager::apply_batch(const std::string& tenant,
       },
       /*background=*/false, ops_cost, bytes_cost, /*bypass_gate=*/false,
       TraceVerb::kApplyBatch, op_count);
+}
+
+void VolumeManager::wound(Volume& v, const char* what) {
+  bool expected = false;
+  if (!v.wounded.compare_exchange_strong(expected, true,
+                                         std::memory_order_acq_rel)) {
+    return;  // already wounded — keep the first cause, count once
+  }
+  hot_.volumes_wounded->add(metric_slot());
+  std::fprintf(stderr,
+               "backlog: volume '%s' wounded (read-only): %s failed\n",
+               v.tenant.c_str(), what);
+}
+
+void VolumeManager::wal_apply_batch(const std::shared_ptr<Volume>& vol,
+                                    std::span<const UpdateOp> batch,
+                                    bool per_op, DoneFn done) {
+  Volume& v = *vol;
+  throw_if_wounded(v);
+  const std::uint64_t t0 = now_micros();
+  // 1. Apply to the db first — a validation failure must never reach the
+  //    log. per_op keeps apply()'s partial-prefix contract (ops before the
+  //    failing one are applied, logged, and made durable); the batched verb
+  //    validates up front, so apply_many throws with nothing applied and
+  //    run_on_deferred routes that exception into the future.
+  std::size_t applied = batch.size();
+  std::exception_ptr apply_err;
+  if (per_op) {
+    applied = 0;
+    for (const UpdateOp& op : batch) {
+      try {
+        if (op.kind == UpdateOp::Kind::kAdd) {
+          v.db->add_reference(op.key);
+        } else {
+          v.db->remove_reference(op.key);
+        }
+      } catch (...) {
+        apply_err = std::current_exception();
+        break;
+      }
+      ++applied;
+    }
+  } else {
+    v.db->apply_many(batch);
+  }
+  // 2. Log the applied prefix. A write error here is the degradation
+  //    trigger: the in-memory state holds ops whose durability can no
+  //    longer be promised, so the volume flips read-only.
+  if (applied != 0) {
+    try {
+      v.wal->append(v.db->current_cp(), batch.first(applied));
+    } catch (...) {
+      wound(v, "WAL append");
+      done(std::make_exception_ptr(ServiceError(
+          ErrorCode::kWounded,
+          "WAL append failed (volume now read-only): " + v.tenant)));
+      return;
+    }
+    hot_.wal_records->add(metric_slot());
+    wal_point("wal_appended");
+  }
+  v.stats.updates += applied;
+  ++v.stats.batches;
+  const std::uint64_t d = now_micros() - t0;
+  v.stats.update_batch_micros.record(d);
+  const std::size_t slot = metric_slot();
+  hot_.updates->add(slot, applied);
+  hot_.batches->add(slot);
+  hot_.update_batch_micros->record(slot, d);
+  if (applied == 0) {
+    // Empty batch, or per_op's first op failed: nothing logged, nothing to
+    // make durable — resolve immediately (apply_err is null when empty).
+    done(std::move(apply_err));
+    return;
+  }
+  // 3. Make it durable. Window 0 is the per-op-fsync baseline: sync inline
+  //    and ack before returning.
+  const std::uint32_t window = options_.wal_commit_window_micros;
+  if (window == 0) {
+    try {
+      v.wal->sync();
+    } catch (...) {
+      wound(v, "WAL sync");
+      done(std::make_exception_ptr(ServiceError(
+          ErrorCode::kWounded,
+          "WAL sync failed (volume now read-only): " + v.tenant)));
+      return;
+    }
+    hot_.wal_syncs->add(slot);
+    wal_point("wal_synced");
+    done(std::move(apply_err));
+    return;
+  }
+  // Group commit: the ack joins the shard's window; the window's first
+  // append schedules the flush sweep. Every batch the shard executes until
+  // the sweep reaches the head of its queue rides the same fsync.
+  const std::size_t shard = WorkerPool::current_shard();
+  ShardCommit& c = *commit_[shard];
+  DoneFn ack = std::move(done);
+  if (apply_err != nullptr) {
+    // Partial-prefix contract under group commit: the caller sees the
+    // validation error, but only after the applied prefix is covered by
+    // the sweep (whose own kWounded failure outranks it).
+    ack = [inner = std::move(ack), apply_err](std::exception_ptr ep) {
+      inner(ep != nullptr ? ep : apply_err);
+    };
+  }
+  c.pending.push_back({vol, std::move(ack)});
+  if (!c.flush_scheduled) {
+    c.flush_scheduled = true;
+    c.window_deadline_micros = now_micros() + window;
+    pool_.submit(shard, [this, shard] { wal_flush_shard(shard); });
+  }
+}
+
+void VolumeManager::wal_flush_shard(std::size_t shard) {
+  // The shard queue is stride-fair across per-volume flows, so this task
+  // cannot "queue behind" the window's appends — the scheduler serves it
+  // round-robin with them (after roughly one append per volume). Sleeping
+  // out the whole window here would be worse still: the shard thread goes
+  // dead while appends sit queued. Instead the flush task *yields its
+  // scheduler turns*: while the window is open it resubmits itself, and
+  // each round trip lets the stride scheduler run a fair slice of queued
+  // appends — all of which join this window's sweep. A short sleep is taken
+  // only when the queue holds nothing but this task, so an open window on a
+  // busy shard drains appends at full speed while an open window on a quiet
+  // shard wakes ~20 times instead of busy-spinning. Once the deadline
+  // passes, the sweep covers every record appended so far — one fsync per
+  // dirty volume, the group-commit amortization the README documents.
+  const std::uint64_t deadline = commit_[shard]->window_deadline_micros;
+  const std::uint64_t now = now_micros();
+  if (now < deadline) {
+    if (pool_.queue_depth_approx(shard) <= 1) {
+      std::this_thread::sleep_for(std::chrono::microseconds(
+          std::min<std::uint64_t>(deadline - now, 100)));
+    }
+    pool_.submit(shard, [this, shard] { wal_flush_shard(shard); });
+    return;
+  }
+  wal_commit_now(shard);
+}
+
+void VolumeManager::wal_commit_now(std::size_t shard) {
+  ShardCommit& c = *commit_[shard];
+  c.flush_scheduled = false;
+  if (c.pending.empty()) return;
+  std::vector<ShardCommit::PendingAck> acks;
+  acks.swap(c.pending);
+  // One fsync per distinct volume. A clean WAL is skipped without losing
+  // the ack's durability promise: the only way a logged-but-unsynced record
+  // disappears from the log is a consistency point, which made its ops
+  // durable in run files first. Likewise a closed volume (null wal) already
+  // committed its buffered state in its close CP.
+  std::vector<Volume*> seen;
+  seen.reserve(acks.size());
+  for (const ShardCommit::PendingAck& a : acks) {
+    Volume& v = *a.vol;
+    if (std::find(seen.begin(), seen.end(), &v) != seen.end()) continue;
+    seen.push_back(&v);
+    if (v.wounded.load(std::memory_order_relaxed)) continue;
+    if (!v.wal || !v.wal->dirty()) continue;
+    try {
+      v.wal->sync();
+      hot_.wal_syncs->add(metric_slot());
+    } catch (...) {
+      wound(v, "WAL sync");
+    }
+  }
+  wal_point("wal_synced");
+  for (ShardCommit::PendingAck& a : acks) {
+    if (a.vol->wounded.load(std::memory_order_relaxed)) {
+      a.done(std::make_exception_ptr(ServiceError(
+          ErrorCode::kWounded,
+          "WAL sync failed (volume now read-only): " + a.vol->tenant)));
+    } else {
+      a.done(nullptr);
+    }
+  }
 }
 
 std::future<std::vector<std::vector<core::BackrefEntry>>>
@@ -705,6 +980,7 @@ std::future<core::CpFlushStats> VolumeManager::consistency_point(
   return run_on(
       find(tenant),
       [this](Volume& v) {
+        throw_if_wounded(v);
         const std::uint64_t t0 = now_micros();
         core::CpFlushStats s = v.db->consistency_point();
         ++v.stats.cps;
@@ -712,6 +988,15 @@ std::future<core::CpFlushStats> VolumeManager::consistency_point(
         v.stats.cp_micros.record(d);
         hot_.cps->add(metric_slot());
         hot_.cp_micros->record(metric_slot(), d);
+        // The committed CP covers every logged op at or below its epoch:
+        // the log restarts empty behind it. (A crash between the CP and
+        // this reset is benign — replay skips records below the recovered
+        // epoch, and the write store's set semantics make a same-epoch
+        // re-apply idempotent.)
+        if (v.wal) {
+          v.wal->reset();
+          wal_point("wal_truncated");
+        }
         return s;
       },
       /*background=*/false, 0, 0, /*bypass_gate=*/false, TraceVerb::kCp);
@@ -721,7 +1006,8 @@ std::future<std::uint64_t> VolumeManager::relocate(const std::string& tenant,
                                                    core::BlockNo old_block,
                                                    std::uint64_t length,
                                                    core::BlockNo new_block) {
-  return run_on(find(tenant), [=](Volume& v) {
+  return run_on(find(tenant), [this, old_block, length, new_block](Volume& v) {
+    throw_if_wounded(v);
     return v.db->relocate(old_block, length, new_block);
   });
 }
@@ -731,12 +1017,17 @@ std::future<core::Epoch> VolumeManager::take_snapshot(const std::string& tenant,
   return run_on(
       find(tenant),
       [this, line](Volume& v) {
+        throw_if_wounded(v);
         // Retain the in-progress CP as the snapshot version, then commit it:
         // updates applied before this verb carry from == version and are part
         // of the snapshot; the CP advance makes later updates invisible to it.
         const core::Epoch version = v.db->registry().take_snapshot(line);
         const std::uint64_t t0 = now_micros();
         v.db->consistency_point();
+        if (v.wal) {
+          v.wal->reset();
+          wal_point("wal_truncated");
+        }
         ++v.stats.cps;
         const std::uint64_t d = now_micros() - t0;
         v.stats.cp_micros.record(d);
@@ -754,7 +1045,8 @@ std::future<core::Epoch> VolumeManager::take_snapshot(const std::string& tenant,
 std::future<core::LineId> VolumeManager::create_clone(const std::string& tenant,
                                                       core::LineId parent_line,
                                                       core::Epoch version) {
-  return run_on(find(tenant), [parent_line, version](Volume& v) {
+  return run_on(find(tenant), [this, parent_line, version](Volume& v) {
+    throw_if_wounded(v);
     const core::LineId line = v.db->registry().create_clone(parent_line, version);
     v.db->persist_registry();
     ++v.stats.clones;
@@ -765,7 +1057,8 @@ std::future<core::LineId> VolumeManager::create_clone(const std::string& tenant,
 std::future<void> VolumeManager::delete_snapshot(const std::string& tenant,
                                                  core::LineId line,
                                                  core::Epoch version) {
-  return run_on(find(tenant), [line, version](Volume& v) {
+  return run_on(find(tenant), [this, line, version](Volume& v) {
+    throw_if_wounded(v);
     v.db->registry().delete_snapshot(line, version);
     v.db->persist_registry();
     ++v.stats.snapshot_deletes;
@@ -902,10 +1195,7 @@ core::LineId VolumeManager::clone_volume(const std::string& src_tenant,
         dst,
         [this, dst, prom, dst_dir, db_opts = volume_db_options()] {
           try {
-            dst->env = std::make_unique<storage::Env>(dst_dir);
-            dst->env->set_sync(options_.sync_writes);
-            dst->env->set_fault_hook(options_.env_fault_hook);
-            dst->db = std::make_unique<core::BacklogDb>(*dst->env, db_opts);
+            recover_volume_on_shard(*dst, dst_dir, db_opts);
             prom->set_value();
           } catch (...) {
             prom->set_exception(std::current_exception());
@@ -935,6 +1225,7 @@ core::LineId VolumeManager::clone_volume(const std::string& src_tenant,
     try {
       run_on(dst,
              [](Volume& v) {
+               v.wal.reset();
                v.db.reset();
                v.env.reset();
              })
@@ -992,6 +1283,13 @@ MigrationStats VolumeManager::migrate_volume(const std::string& tenant,
               result = Drain::kDirtyAbort;
             } else {
               if (flush_buffered_cp(*vol)) result = Drain::kForcedCp;
+              // Settle the shard's commit window before the handoff: a
+              // pending ack still referencing this volume after ownership
+              // flips would race the new owner's appends. (The sweep covers
+              // the whole shard — neighbours' acks simply land a little
+              // early, which is never incorrect.)
+              if (options_.wal_enabled)
+                wal_commit_now(WorkerPool::current_shard());
               ++vol->stats.migrations;
               hot_.migrations->add(metric_slot());
               vol->stats.shard = target_shard;
@@ -1087,6 +1385,7 @@ std::future<core::MaintenanceStats> VolumeManager::maintain(
   return run_on(
       find(tenant),
       [this](Volume& v) {
+        throw_if_wounded(v);
         const std::uint64_t t0 = now_micros();
         core::MaintenanceStats m = v.db->maintain();
         ++v.stats.maintenance_runs;
@@ -1118,6 +1417,12 @@ bool VolumeManager::schedule_maintenance(const std::string& tenant,
       vol,
       [this, l0, bytes](Volume& v) {
         PendingGuard guard{v.maintenance_pending};
+        // A wounded volume cannot write new runs; skip instead of failing
+        // the background probe with an exception nobody awaits.
+        if (v.wounded.load(std::memory_order_relaxed)) {
+          ++v.stats.maintenance_skipped;
+          return;
+        }
         const core::QuickStats q = v.db->quick_stats();
         // maintain() requires an empty write store; mid-CP-window volumes
         // are retried on a later sweep rather than forced through an early

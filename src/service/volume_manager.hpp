@@ -50,6 +50,7 @@
 #include "core/backlog_db.hpp"
 #include "core/file_manifest.hpp"
 #include "core/result_cache.hpp"
+#include "core/wal.hpp"
 #include "service/metrics.hpp"
 #include "service/qos.hpp"
 #include "service/service_stats.hpp"
@@ -155,6 +156,41 @@ struct ServiceOptions {
   /// Env::set_fault_hook): lets tests fail a link/copy mid-clone or inject
   /// IO latency (slow-op forensics tests sleep in it).
   storage::Env::FaultHook env_fault_hook;
+
+  /// Test hook: invoked with each hosted volume's Env right after
+  /// construction, before recovery runs — the place to arm
+  /// Env::set_write_fault plans per tenant (wounded-volume tests, the
+  /// fleet_sim chaos round).
+  std::function<void(const std::string& tenant, storage::Env&)> env_prepare;
+
+  // --- durability (group-commit WAL; see README "Durability") --------------
+
+  /// Write-ahead logging for the update verbs: every applied batch is
+  /// appended to the volume's WAL (core/wal.hpp) and the returned future
+  /// resolves only after the record is covered by an fsync, so a resolved
+  /// apply survives a crash — recovery replays the WAL tail through
+  /// apply_many. Off by default: without it the service keeps the paper's
+  /// CP-only durability (buffered updates lost on crash, the file system's
+  /// journal replay covers them). Enabling it forces real fsyncs on every
+  /// hosted Env regardless of `sync_writes`.
+  bool wal_enabled = false;
+
+  /// Group-commit window, in microseconds. 0 = per-op fsync: every update
+  /// batch syncs its own WAL record before its future resolves (the
+  /// durable-but-slow baseline bench/durability measures against). N > 0:
+  /// the first WAL append on a shard schedules one flush task N µs out;
+  /// every batch appended to ANY volume on that shard meanwhile rides the
+  /// same single fsync sweep, so durable-ops/s scales with batching rather
+  /// than with fsync count.
+  std::uint32_t wal_commit_window_micros = 0;
+
+  /// Crash-injection hook for the durability pipeline, invoked at the five
+  /// ordering points: "wal_appended" (record in the file, not yet synced),
+  /// "wal_synced" (group fsync done, acks not yet delivered), "cp_flushed"
+  /// / "registry_persisted" (inside BacklogDb::consistency_point — see
+  /// BacklogOptions::checkpoint), and "wal_truncated" (log reset behind
+  /// the committed CP). Crash tests _exit() inside it at every point.
+  std::function<void(std::string_view)> wal_checkpoint;
 
   // --- observability (see trace.hpp / metrics.hpp) -------------------------
   // Both knobs are also adjustable at runtime via set_tracing(). While
@@ -584,6 +620,16 @@ class VolumeManager {
     // Created, used and destroyed only on the owning shard's thread.
     std::unique_ptr<storage::Env> env;
     std::unique_ptr<core::BacklogDb> db;
+    // Per-volume write-ahead log (null unless ServiceOptions::wal_enabled);
+    // appended on the shard thread, group-synced by the shard's flush task.
+    std::unique_ptr<core::Wal> wal;
+    // Graceful degradation: set once a WAL append/sync hits a persistent
+    // write error. A wounded volume keeps answering reads, but every
+    // mutating verb fails fast with ServiceError(kWounded) instead of
+    // aborting the shard thread. Atomic so the API-side gauge can read it
+    // without visiting the shard; never cleared while hosted (close and
+    // reopen — after fixing the disk — heals it).
+    std::atomic<bool> wounded{false};
     TenantStats stats;  // shard-thread-only
     std::atomic<bool> maintenance_pending{false};
     // Trace sampling cursor: every Nth foreground op of this volume is
@@ -596,7 +642,17 @@ class VolumeManager {
   /// Shard-thread helper: flush buffered updates as a consistency point
   /// (with stats accounting) if there are any; returns whether a CP was
   /// taken. Used by clone_volume's quiesce and migrate_volume's drain.
+  /// Truncates the volume's WAL behind the committed CP. Fails fast with
+  /// kWounded instead of attempting a CP on a wounded volume.
   bool flush_buffered_cp(Volume& v);
+
+  /// Shard-thread body of the volume open/recovery sequence, shared by
+  /// open_volume() and clone_volume()'s destination open: construct the Env
+  /// (real fsyncs forced on when the WAL is enabled), arm the test hooks,
+  /// recover the BacklogDb, replay the WAL tail through apply_many
+  /// (committed immediately as a CP), and start a fresh log.
+  void recover_volume_on_shard(Volume& v, const std::filesystem::path& dir,
+                               const core::BacklogOptions& db_opts);
 
   /// Route one task to wherever the volume currently lives: its shard's
   /// queue, or the volume's parked deque while a migration handoff is in
@@ -769,6 +825,146 @@ class VolumeManager {
     return fut;
   }
 
+  /// Completion callback of a deferred (WAL'd) update op: exactly one call,
+  /// with null on success or the exception the future should carry.
+  using DoneFn = std::function<void(std::exception_ptr)>;
+
+  /// Deferred-completion sibling of run_on for the WAL'd update verbs: same
+  /// routing, QoS gating and queue-wait accounting, but the future resolves
+  /// when `fn`'s DoneFn is invoked — the shard's group-commit flush calls
+  /// it after the WAL sync covering the op — instead of when fn returns.
+  /// `fn(v, done)` must either throw (the future then carries that
+  /// exception) or arrange exactly one `done` call, and must not throw
+  /// after arranging it. A traced span finishes when fn returns, so it
+  /// measures apply + WAL append and excludes the commit-window wait.
+  template <typename Fn>
+  std::future<void> run_on_deferred(std::shared_ptr<Volume> vol, Fn fn,
+                                    double ops_cost, double bytes_cost,
+                                    TraceVerb verb, std::uint32_t op_count) {
+    auto prom = std::make_shared<std::promise<void>>();
+    std::future<void> fut = prom->get_future();
+    TraceCtx ctx;
+    ctx.verb = verb;
+    ctx.ops = op_count;
+    if (trace_.enabled()) {
+      ctx.active = true;
+      ctx.id = next_trace_id_.fetch_add(1, std::memory_order_relaxed);
+      ctx.t_submit = util::now_micros();
+      ctx.submit_shard = static_cast<std::uint16_t>(
+          vol->shard.load(std::memory_order_relaxed));
+      const std::uint32_t every =
+          trace_.sample_every.load(std::memory_order_relaxed);
+      ctx.sampled =
+          every != 0 &&
+          vol->trace_seq.fetch_add(1, std::memory_order_relaxed) % every == 0;
+    } else if (vol->gate.gated() ||
+               pool_.queue_depth_approx(
+                   vol->shard.load(std::memory_order_relaxed)) > 0) {
+      ctx.t_submit = util::now_micros();
+    }
+    auto make_body = [this, prom](Fn fn, TraceCtx ctx) {
+      return [this, fn = std::move(fn), prom, ctx](Volume& v) mutable {
+        try {
+          std::uint64_t t_exec = 0;
+          if (ctx.t_submit != 0) {
+            t_exec = WorkerPool::dispatch_time_micros();
+            if (t_exec < ctx.t_submit) t_exec = ctx.t_submit;
+            v.stats.queue_wait_micros.record(t_exec - ctx.t_submit);
+            hot_.queue_wait_micros->record(metric_slot(),
+                                           t_exec - ctx.t_submit);
+          }
+          if (v.db == nullptr)
+            throw std::logic_error("volume is closed: " + v.tenant);
+          const std::uint64_t io_before =
+              ctx.active ? v.env->stats().io_micros : 0;
+          DoneFn done = [prom](std::exception_ptr ep) {
+            if (ep)
+              prom->set_exception(std::move(ep));
+            else
+              prom->set_value();
+          };
+          fn(v, std::move(done));
+          if (ctx.active) finish_trace(v, ctx, t_exec, io_before);
+        } catch (...) {
+          prom->set_exception(std::current_exception());
+        }
+      };
+    };
+    if (!vol->gate.gated()) {
+      submit_chasing(std::move(vol), make_body(std::move(fn), ctx),
+                     /*background=*/false);
+      return fut;
+    }
+    Volume* gate_vol = vol.get();
+    std::function<void()> release = [this, make_body, vol = std::move(vol),
+                                     fn = std::move(fn), ctx]() mutable {
+      if (ctx.active) ctx.t_admit = util::now_micros();
+      submit_chasing(std::move(vol), make_body(std::move(fn), ctx),
+                     /*background=*/false);
+    };
+    const Admission adm = gate_vol->gate.admit(
+        ops_cost, bytes_cost, util::now_micros(), std::move(release));
+    if (adm == Admission::kQueued) {
+      hot_.throttle_queued->add(metric_slot());
+    } else if (adm == Admission::kRejected) {
+      hot_.throttle_rejected->add(metric_slot());
+      prom->set_exception(std::make_exception_ptr(ServiceError(
+          ErrorCode::kThrottled,
+          "throttled: QoS wait queue full for " + gate_vol->tenant)));
+    }
+    return fut;
+  }
+
+  // --- group-commit WAL pipeline (shard-thread state) ----------------------
+
+  /// One shard's pending durability window. Touched only on that shard's
+  /// worker thread (the flush task runs there too), so no locking.
+  struct ShardCommit {
+    bool flush_scheduled = false;
+    std::uint64_t window_deadline_micros = 0;
+    struct PendingAck {
+      std::shared_ptr<Volume> vol;
+      DoneFn done;
+    };
+    std::vector<PendingAck> pending;
+  };
+
+  /// Shard-thread body shared by apply()/apply_batch() under WAL: apply the
+  /// batch to the db (`per_op` keeps apply()'s partial-prefix contract),
+  /// append the applied prefix to the volume's WAL, then sync inline
+  /// (window 0) or register `done` with the shard's group-commit window.
+  void wal_apply_batch(const std::shared_ptr<Volume>& vol,
+                       std::span<const UpdateOp> batch, bool per_op,
+                       DoneFn done);
+
+  /// Group-commit sweep of `shard`: sleeps out the remainder of the window,
+  /// then runs wal_commit_now.
+  void wal_flush_shard(std::size_t shard);
+
+  /// The sweep itself, shard-thread-only and idempotent: fsyncs every
+  /// distinct dirty volume's WAL once, then delivers the pending acks (a
+  /// volume whose sync failed is wounded and its acks carry kWounded).
+  /// Also called directly — without the sleep — by migrate_volume's drain
+  /// barrier, so no ack can still reference a volume after its ownership
+  /// moves to another shard.
+  void wal_commit_now(std::size_t shard);
+
+  /// Flip `v` read-only after a persistent WAL write error, bump the
+  /// counters; idempotent.
+  void wound(Volume& v, const char* what);
+
+  void throw_if_wounded(const Volume& v) const {
+    if (v.wounded.load(std::memory_order_relaxed))
+      throw ServiceError(ErrorCode::kWounded,
+                         "volume is wounded (read-only after write errors): " +
+                             v.tenant);
+  }
+
+  /// Fire one named durability injection point (no-op without a hook).
+  void wal_point(std::string_view point) const {
+    if (options_.wal_checkpoint) options_.wal_checkpoint(point);
+  }
+
   /// Slot of the calling thread in the metrics registry: its shard index on
   /// a worker thread, the extra trailing slot for API/control threads.
   [[nodiscard]] std::size_t metric_slot() const noexcept {
@@ -836,6 +1032,10 @@ class VolumeManager {
     MetricsRegistry::Counter* slow_ops = nullptr;
     MetricsRegistry::Counter* shard_kills = nullptr;
     MetricsRegistry::Counter* shard_restarts = nullptr;
+    MetricsRegistry::Counter* wal_records = nullptr;
+    MetricsRegistry::Counter* wal_syncs = nullptr;
+    MetricsRegistry::Counter* wal_replayed_ops = nullptr;
+    MetricsRegistry::Counter* volumes_wounded = nullptr;
     MetricsRegistry::Histogram* update_batch_micros = nullptr;
     MetricsRegistry::Histogram* query_micros = nullptr;
     MetricsRegistry::Histogram* cp_micros = nullptr;
@@ -867,6 +1067,9 @@ class VolumeManager {
   std::vector<std::unique_ptr<ShardTelemetry>> telemetry_;
   std::atomic<std::uint64_t> next_trace_id_{1};
   HotMetrics hot_;
+  // Group-commit windows, one per shard, each touched only on its shard's
+  // thread (sized in the constructor, never resized after).
+  std::vector<std::unique_ptr<ShardCommit>> commit_;
   // Declared last: ~WorkerPool drains and joins before volumes_ goes away.
   WorkerPool pool_;
 };

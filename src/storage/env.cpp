@@ -162,7 +162,7 @@ std::vector<std::string> Env::list_files() const {
 
 WritableFile::WritableFile(Env& env, const std::filesystem::path& path,
                            bool truncate)
-    : env_(env) {
+    : env_(env), name_(path.filename().string()) {
   const int flags = O_CREAT | O_WRONLY | (truncate ? O_TRUNC : O_APPEND);
   fd_ = ::open(path.c_str(), flags, 0644);
   if (fd_ < 0) throw_errno("open for write: " + path.string());
@@ -177,8 +177,47 @@ WritableFile::~WritableFile() {
   if (fd_ >= 0) ::close(fd_);
 }
 
+std::size_t WritableFile::fault_admitted_bytes(
+    std::span<const std::uint8_t> data) {
+  Env::WriteFaultPlan& plan = env_.write_fault_;
+  if (plan.mode == Env::WriteFaultMode::kNone) return data.size();
+  if (env_.fault_appends_seen_ < plan.after_writes) {
+    ++env_.fault_appends_seen_;
+    return data.size();
+  }
+  if (data.empty()) return 0;  // nothing to tear; the no-op append succeeds
+  std::size_t admit = 0;
+  switch (plan.mode) {
+    case Env::WriteFaultMode::kEio:
+      admit = 0;
+      break;
+    case Env::WriteFaultMode::kShortWrite:
+      admit = data.size() / 2;
+      break;
+    case Env::WriteFaultMode::kTornPage:
+      // Half of one 4 KB page lands; cap below the full request so the
+      // failure is always observable as a torn tail.
+      admit = std::min<std::size_t>(data.size() - 1, kPageSize / 2);
+      break;
+    case Env::WriteFaultMode::kNone:
+      break;
+  }
+  // Latch: the partial write happened once; a sticky plan keeps failing as
+  // a plain EIO from now on (the persistent-error case that wounds a
+  // volume), a one-shot plan heals.
+  plan.mode = plan.sticky ? Env::WriteFaultMode::kEio
+                          : Env::WriteFaultMode::kNone;
+  plan.after_writes = 0;
+  env_.fault_appends_seen_ = 0;
+  return admit;
+}
+
 void WritableFile::append(std::span<const std::uint8_t> data) {
   if (fd_ < 0) throw std::logic_error("WritableFile: append after close");
+  if (env_.fault_hook_) env_.fault_hook_("append", name_);
+  const std::size_t admitted = fault_admitted_bytes(data);
+  const bool fail_after = admitted < data.size();
+  if (fail_after) data = data.first(admitted);
   const IoTimer timer(env_.stats_);
   const std::uint8_t* p = data.data();
   std::size_t remaining = data.size();
@@ -199,10 +238,20 @@ void WritableFile::append(std::span<const std::uint8_t> data) {
   env_.stats_.page_writes += pages_touched(size_, data.size());
   env_.stats_.bytes_written += data.size();
   size_ += data.size();
+  if (fail_after) {
+    errno = EIO;
+    throw_errno("write (injected fault): " + name_);
+  }
 }
 
 void WritableFile::sync() {
   if (fd_ < 0) return;
+  if (env_.fault_hook_) env_.fault_hook_("sync", name_);
+  if (env_.write_fault_.mode != Env::WriteFaultMode::kNone &&
+      env_.fault_appends_seen_ >= env_.write_fault_.after_writes) {
+    errno = EIO;
+    throw_errno("fsync (injected fault): " + name_);
+  }
   if (!env_.sync_enabled_) return;
   const std::uint64_t start = util::now_micros();
   if (::fsync(fd_) < 0) throw_errno("fsync");

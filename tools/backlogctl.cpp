@@ -132,6 +132,11 @@ using namespace backlog;
 
 namespace {
 
+/// Shared by every remote-mode connection. `--wait-ms N` after the
+/// `--connect` spec fills retry_for_ms so scripts (and CI) can start the
+/// client before the daemon finishes binding instead of sleeping and hoping.
+net::Client::ConnectOptions g_connect_opts;
+
 int usage() {
   std::fprintf(stderr,
                "usage: backlogctl <info|runs|query|raw|scan|maintain|dump-run|"
@@ -155,8 +160,12 @@ int usage() {
                "[--watch N]\n"
                "       backlogctl trace <root> <tenants> <ops> [shards] "
                "[--sample N] [--slow-us N]\n"
-               "       backlogctl --connect host:port <cmd> [args]   (volume "
-               "commands take the tenant name)\n");
+               "       backlogctl --connect host:port [--wait-ms N] <cmd> "
+               "[args]\n"
+               "                  (volume commands take the tenant name; "
+               "--wait-ms retries\n"
+               "                  refused connects for N ms — races daemon "
+               "startup safely)\n");
   return 2;
 }
 
@@ -693,7 +702,7 @@ int rcmd_stress(const std::string& host, std::uint16_t port,
     threads.emplace_back([&, i] {
       try {
         net::Client c;  // one connection per tenant thread (Client is not
-        c.connect(host, port);  // thread-safe by design)
+        c.connect(host, port, g_connect_opts);  // thread-safe by design)
         const std::string name = stress_tenant_name(i);
         c.open_volume(name);
         fsim::TenantTraceOptions to;
@@ -749,7 +758,7 @@ int rcmd_stress(const std::string& host, std::uint16_t port,
   std::printf("block ops:         %" PRIu64 " in %.2f s (%.0f ops/s)\n", ops,
               wall, wall > 0 ? ops / wall : 0.0);
   net::Client c;
-  c.connect(host, port);
+  c.connect(host, port, g_connect_opts);
   std::fputs(c.stats_text(false).c_str(), stdout);
   return 0;
 }
@@ -855,7 +864,7 @@ int rcmd_trace(const std::string& host, std::uint16_t port,
                std::uint64_t tenants, std::uint64_t total_ops,
                std::uint64_t sample, std::uint64_t slow_us) {
   net::Client c;
-  c.connect(host, port);
+  c.connect(host, port, g_connect_opts);
   c.set_tracing(static_cast<std::uint32_t>(sample), slow_us);
   const std::uint64_t per_tenant =
       std::max<std::uint64_t>(1, total_ops / tenants);
@@ -913,7 +922,7 @@ int remote_main(const std::string& host, std::uint16_t port, int argc,
       if (argc < 4 || argc > 5 || (argc > 4 && !parse_u64(argv[4], line)))
         return usage();
       net::Client c;
-      c.connect(host, port);
+      c.connect(host, port, g_connect_opts);
       c.open_volume(argv[3]);
       const core::Epoch version = c.take_snapshot(argv[3], line);
       std::printf("retained snapshot (line %" PRIu64 ", v%" PRIu64 ") of %s\n",
@@ -928,7 +937,7 @@ int remote_main(const std::string& host, std::uint16_t port, int argc,
       }
       const std::string src = argv[3], dst = argv[4];
       net::Client c;
-      c.connect(host, port);
+      c.connect(host, port, g_connect_opts);
       c.open_volume(src);
       if (version == 0) {  // default: the latest retained snapshot
         const auto versions = c.list_versions(src, line);
@@ -959,7 +968,7 @@ int remote_main(const std::string& host, std::uint16_t port, int argc,
         return usage();
       }
       net::Client c;
-      c.connect(host, port);
+      c.connect(host, port, g_connect_opts);
       try {
         c.destroy_volume(argv[3]);
       } catch (const service::ServiceError& e) {
@@ -984,7 +993,7 @@ int remote_main(const std::string& host, std::uint16_t port, int argc,
       (void)shards;
       const std::string tenant = argv[3];
       net::Client c;
-      c.connect(host, port);
+      c.connect(host, port, g_connect_opts);
       c.open_volume(tenant);
       const core::QuickStats before = c.quick_stats(tenant);
       const service::MigrationStats ms = c.migrate_volume(tenant, target);
@@ -1013,7 +1022,7 @@ int remote_main(const std::string& host, std::uint16_t port, int argc,
         return usage();
       }
       net::Client c;
-      c.connect(host, port);
+      c.connect(host, port, g_connect_opts);
       return rcmd_qos(c, argv[3], ops_rate, bytes_rate, ops);
     }
     if (cmd == "balance") {
@@ -1023,7 +1032,7 @@ int remote_main(const std::string& host, std::uint16_t port, int argc,
         return usage();
       }
       net::Client c;  // the cycle runs entirely server-side (kBalanceText)
-      c.connect(host, port);
+      c.connect(host, port, g_connect_opts);
       std::fputs(c.balance_text(cycles).c_str(), stdout);
       return 0;
     }
@@ -1041,7 +1050,7 @@ int remote_main(const std::string& host, std::uint16_t port, int argc,
       }
       (void)shards;
       net::Client c;
-      c.connect(host, port);
+      c.connect(host, port, g_connect_opts);
       std::fputs(c.stats_text(json).c_str(), stdout);
       return 0;
     }
@@ -1065,7 +1074,7 @@ int remote_main(const std::string& host, std::uint16_t port, int argc,
       (void)shards;
       (void)prom;  // Prometheus exposition is the remote default too
       net::Client c;
-      c.connect(host, port);
+      c.connect(host, port, g_connect_opts);
       return rcmd_metrics(c, host, port, json, watch);
     }
     if (cmd == "cache") {
@@ -1087,7 +1096,7 @@ int remote_main(const std::string& host, std::uint16_t port, int argc,
       }
       (void)shards;
       net::Client c;
-      c.connect(host, port);
+      c.connect(host, port, g_connect_opts);
       if (clear) {
         c.cache_clear();
         std::fputs("caches cleared\n", stdout);
@@ -1135,7 +1144,7 @@ int remote_main(const std::string& host, std::uint16_t port, int argc,
     }
     const std::string tenant = argv[2];  // where local takes a directory
     net::Client c;
-    c.connect(host, port);
+    c.connect(host, port, g_connect_opts);
     std::string out;
     if (cmd == "info") {
       out = c.info_text(tenant);
@@ -1169,7 +1178,15 @@ int main(int argc, char** argv) {
     std::string host;
     std::uint16_t port = 0;
     if (!net::parse_host_port(argv[2], host, port)) return usage();
-    return remote_main(host, port, argc - 2, argv + 2);
+    int shift = 2;
+    if (argc >= 5 && std::strcmp(argv[3], "--wait-ms") == 0) {
+      std::uint64_t wait_ms = 0;
+      if (argc < 6 || !parse_u64(argv[4], wait_ms, 0, 10 * 60 * 1000))
+        return usage();
+      g_connect_opts.retry_for_ms = static_cast<std::uint32_t>(wait_ms);
+      shift = 4;
+    }
+    return remote_main(host, port, argc - shift, argv + shift);
   }
   const std::string cmd = argv[1];
   // Service-level commands take a service *root* (volumes live underneath).

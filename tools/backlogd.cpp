@@ -1,6 +1,7 @@
 // backlogd — the Backlog network daemon.
 //
 //   backlogd <root> [--port N] [--bind ADDR] [--shards N] [--io-threads N]
+//            [--commit-window-us N]
 //
 // Hosts every volume directory under <root> in one VolumeManager and serves
 // the wire protocol (see src/net/frame.hpp) on an epoll server. Port 0 (the
@@ -16,6 +17,8 @@
 //
 // Malformed invocations print usage and exit 2; runtime failures exit 1.
 #include <csignal>
+#include <unistd.h>
+
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -33,7 +36,9 @@ namespace {
 int usage() {
   std::fprintf(stderr,
                "usage: backlogd <root> [--port N] [--bind ADDR] [--shards N] "
-               "[--io-threads N]\n");
+               "[--io-threads N] [--commit-window-us N]\n"
+               "  --commit-window-us N   group-commit WAL window (0 = fsync "
+               "per batch, the default)\n");
   return 2;
 }
 
@@ -51,14 +56,21 @@ bool parse_u64(const char* arg, std::uint64_t& out,
 }
 
 volatile std::sig_atomic_t g_stop = 0;
-void on_signal(int) { g_stop = 1; }
+void on_signal(int) {
+  // Second signal: the clean shutdown (final consistency points, fsyncs,
+  // WAL truncation) is taking longer than whoever is signalling will wait.
+  // Force out with the conventional killed-by-SIGTERM code; recovery will
+  // replay the WAL on the next start.
+  if (g_stop != 0) ::_exit(143);
+  g_stop = 1;
+}
 
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 2) return usage();
   const char* root = argv[1];
-  std::uint64_t port = 0, shards = 4, io_threads = 2;
+  std::uint64_t port = 0, shards = 4, io_threads = 2, commit_window_us = 0;
   std::string bind_address = "127.0.0.1";
   for (int i = 2; i < argc; ++i) {
     if (std::strcmp(argv[i], "--port") == 0 && i + 1 < argc) {
@@ -69,16 +81,43 @@ int main(int argc, char** argv) {
       if (!parse_u64(argv[++i], shards, 1, 1024)) return usage();
     } else if (std::strcmp(argv[i], "--io-threads") == 0 && i + 1 < argc) {
       if (!parse_u64(argv[++i], io_threads, 1, 64)) return usage();
+    } else if (std::strcmp(argv[i], "--commit-window-us") == 0 &&
+               i + 1 < argc) {
+      if (!parse_u64(argv[++i], commit_window_us, 0, 10'000'000))
+        return usage();
     } else {
       return usage();
     }
   }
 
+  // Handlers go in *before* the VolumeManager exists: a SIGTERM landing
+  // during recovery/WAL replay must request a clean stop (finish startup,
+  // then immediately shut down) rather than hit the default action and kill
+  // the process mid-recovery. SA_RESTART keeps recovery's blocking I/O from
+  // surfacing spurious EINTRs. The signals stay *blocked* until the wait
+  // loop — sigsuspend unblocks and waits atomically, so a signal delivered
+  // at any point during startup cannot slip between the g_stop check and
+  // the wait (the classic lost-wakeup race).
+  struct sigaction sa{};
+  sa.sa_handler = on_signal;
+  sa.sa_flags = SA_RESTART;
+  ::sigaction(SIGINT, &sa, nullptr);
+  ::sigaction(SIGTERM, &sa, nullptr);
+  sigset_t blocked, orig_mask;
+  ::sigemptyset(&blocked);
+  ::sigaddset(&blocked, SIGINT);
+  ::sigaddset(&blocked, SIGTERM);
+  ::sigprocmask(SIG_BLOCK, &blocked, &orig_mask);
+
   try {
     service::ServiceOptions so;
     so.shards = shards;
     so.root = root;
-    so.sync_writes = true;  // a remote mutation must be durable when acked
+    // A remote mutation must be durable when acked: every apply future
+    // resolves only once its WAL record is fsync-covered. The window
+    // amortizes one fsync over every batch on the shard (0 = per-batch).
+    so.wal_enabled = true;
+    so.wal_commit_window_micros = static_cast<std::uint32_t>(commit_window_us);
     service::VolumeManager vm(so);
 
     // Host whatever already lives under the root; remote kOpenVolume adds
@@ -105,13 +144,13 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(shards));
     std::fflush(stdout);
 
-    struct sigaction sa{};
-    sa.sa_handler = on_signal;
-    ::sigaction(SIGINT, &sa, nullptr);
-    ::sigaction(SIGTERM, &sa, nullptr);
-    sigset_t mask;
-    ::sigemptyset(&mask);
-    while (g_stop == 0) ::sigsuspend(&mask);
+    // Wait with the original (signal-deliverable) mask; a SIGTERM that
+    // arrived during startup is pending and fires on the first sigsuspend,
+    // turning an early kill into an immediate clean shutdown.
+    while (g_stop == 0) ::sigsuspend(&orig_mask);
+    // Unblock for the shutdown phase so a second signal reaches the handler
+    // and forces an exit instead of queueing behind a stuck close.
+    ::sigprocmask(SIG_SETMASK, &orig_mask, nullptr);
 
     std::fprintf(stderr, "backlogd: shutting down\n");
     endpoint.stop();

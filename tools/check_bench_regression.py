@@ -310,6 +310,66 @@ def check_net_loopback(rows, min_wire_fraction=0.10, min_batch_speedup=3.0):
     return failures
 
 
+def check_durability(rows, min_amortization=3.0, min_speedup=3.0,
+                     min_fsync_us=60.0):
+    """Group-commit WAL gate on the durability bench of the current run
+    alone (self-skips when the capture has no durability rows). At the
+    widest fleet that ran both windows:
+
+      * amortization: the group-commit run must cover at least
+        `min_amortization` WAL records per fsync — a pure counter ratio,
+        machine-independent (the per-batch baseline is exactly 1.0 by
+        construction);
+      * durable-ops/s: group commit must beat the per-batch baseline by
+        `min_speedup`. Throughput only separates where an fsync actually
+        costs something, so this half self-skips when the baseline's mean
+        fsync is under `min_fsync_us` (tmpfs/overlay runners sync from page
+        cache in microseconds and both modes run at memory speed)."""
+    dur = [r for r in rows if r.get("bench") == "durability"]
+    failures = []
+    if not dur:
+        return failures
+    by_cfg = {(r.get("volumes"), r.get("window_us") > 0): r for r in dur}
+    paired = [v for (v, grouped) in by_cfg if grouped
+              and (v, False) in by_cfg]
+    if not paired:
+        print("note: durability capture lacks a baseline/group pair — "
+              "durability gate skipped")
+        return failures
+    volumes = max(paired)
+    base, group = by_cfg[(volumes, False)], by_cfg[(volumes, True)]
+
+    fsyncs = group.get("wal_fsyncs", 0)
+    records = group.get("wal_records", 0)
+    amort = records / fsyncs if fsyncs > 0 else 0
+    status = "FAIL" if amort < min_amortization else "ok"
+    print(f"{status}: durability amortization at {volumes} volumes: "
+          f"{records} records / {fsyncs} fsyncs = {amort:.1f} per fsync "
+          f"(gate >= {min_amortization})")
+    if amort < min_amortization:
+        failures.append(
+            f"group commit amortized only {amort:.1f} records/fsync "
+            f"< {min_amortization}")
+
+    fsync_us = base.get("fsync_micros_mean", 0)
+    if fsync_us < min_fsync_us:
+        print(f"note: baseline fsync mean {fsync_us:.0f} us < {min_fsync_us}"
+              f" us — durable-ops/s gate skipped (fsync too cheap on this "
+              f"filesystem for amortization to show in wall time)")
+        return failures
+    base_ops = base.get("durable_ops_per_second", 0)
+    group_ops = group.get("durable_ops_per_second", 0)
+    speedup = group_ops / base_ops if base_ops > 0 else 0
+    status = "FAIL" if speedup < min_speedup else "ok"
+    print(f"{status}: durable-ops/s at {volumes} volumes (fsync mean "
+          f"{fsync_us:.0f} us): group {group_ops:.0f} vs per-batch "
+          f"{base_ops:.0f} = {speedup:.1f}x (gate >= {min_speedup}x)")
+    if speedup < min_speedup:
+        failures.append(
+            f"group commit durable-ops/s {speedup:.1f}x < {min_speedup}x")
+    return failures
+
+
 def reference_ops(rows):
     """ops_per_second of the (unbatched) 1-shard/16-tenant sweep-(a) row.
     `batched` is absent in pre-batching baselines, hence the (0, None)."""
@@ -378,6 +438,7 @@ def main():
     failures.extend(check_dispatch_vs_baseline(base_rows, cur_rows))
     failures.extend(check_net_loopback(cur_rows))
     failures.extend(check_cache_hit(cur_rows))
+    failures.extend(check_durability(cur_rows))
 
     if checked == 0:
         sys.exit("error: no comparable rows between baseline and current run")

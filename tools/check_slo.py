@@ -51,15 +51,24 @@ def check_chaos(rows):
             continue
         div = row.get("verifier_divergence", 0)
         dropped = row.get("dropped_ops", 0)
-        status = "FAIL" if div or dropped else "ok"
+        wound_failures = row.get("wound_failures", 0)
+        status = "FAIL" if div or dropped or wound_failures else "ok"
         print(f"{status}: chaos correctness: verifier_divergence={div} "
-              f"dropped_ops={dropped} (kills={row.get('shard_kills')} "
+              f"dropped_ops={dropped} wound_failures={wound_failures} "
+              f"(kills={row.get('shard_kills')} "
+              f"at-wal-point={row.get('wal_point_kills', 0)} "
               f"migrations={row.get('forced_migrations')} "
-              f"clones={row.get('clones')} destroys={row.get('destroys')})")
+              f"clones={row.get('clones')} destroys={row.get('destroys')} "
+              f"wounds={row.get('wounds', 0)} heals={row.get('heals', 0)})")
         if div:
             failures.append(f"verifier divergence: {div} live-set mismatches")
         if dropped:
             failures.append(f"{dropped} op future(s) dropped under chaos")
+        if wound_failures:
+            failures.append(
+                f"{wound_failures} wounded-volume degradation check(s) "
+                f"failed (write not kWounded / read failed / reopen did "
+                f"not heal)")
     return failures
 
 
